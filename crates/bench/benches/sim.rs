@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the simulation substrate itself: how fast
+//! the simulator simulates (host-side throughput, not guest cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sim_interpose::{Interposed, Mechanism};
+
+fn bench_machine_step_rate(c: &mut Criterion) {
+    use sim_cpu::asm::Asm;
+    use sim_cpu::machine::Machine;
+    use sim_cpu::reg::Gpr;
+
+    // A pure-ALU loop: 1000 iterations x 4 instructions.
+    let code = Asm::new()
+        .mov_ri(Gpr::R1, 1000)
+        .label("loop")
+        .add_ri(Gpr::R2, 3)
+        .sub_ri(Gpr::R1, 1)
+        .cmp_ri(Gpr::R1, 0)
+        .jnz("loop")
+        .hlt()
+        .assemble()
+        .unwrap();
+    let mut g = c.benchmark_group("sim-cpu");
+    g.throughput(Throughput::Elements(4000));
+    g.bench_function("execute 4k ALU instructions", |b| {
+        b.iter(|| {
+            let mut m = Machine::new();
+            m.load_code(0x1000, &code).unwrap();
+            black_box(m.run_fuel(10_000).unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn bench_interposed_guests(c: &mut Criterion) {
+    let program = sim_workloads::bench::microbench(100);
+    let mut g = c.benchmark_group("sim-guest (100 syscalls)");
+    for mech in [
+        Mechanism::Baseline,
+        Mechanism::Zpoline,
+        Mechanism::Lazypoline { xstate: true },
+        Mechanism::Sud,
+        Mechanism::Ptrace,
+    ] {
+        g.bench_function(mech.name(), |b| {
+            b.iter(|| {
+                let mut ip = Interposed::setup(mech, &program, false).unwrap();
+                black_box(ip.run().unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bpf_vm(c: &mut Criterion) {
+    use sim_kernel::seccomp::{BpfProgram, SeccompData};
+    let prog = BpfProgram::deny_numbers(&(1..=64).collect::<Vec<u64>>());
+    let data = SeccompData {
+        nr: 500,
+        instruction_pointer: 0x1000,
+        args: [0; 6],
+    };
+    c.bench_function("cBPF VM: 64-rule deny-list miss", |b| {
+        b.iter(|| black_box(prog.run(&data)))
+    });
+}
+
+fn configured() -> Criterion {
+    // Short, 1-core-friendly defaults; override with criterion's own
+    // CLI flags (e.g. `cargo bench -- --measurement-time 5`).
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_machine_step_rate, bench_interposed_guests, bench_bpf_vm
+}
+criterion_main!(benches);

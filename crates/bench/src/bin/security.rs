@@ -1,0 +1,40 @@
+//! The §VI security extension demo: a selector-overwrite attack
+//! against lazypoline, unprotected vs. with an isolated selector.
+
+use sim_interpose::{run_attack, AttackOutcome, Protection};
+
+fn main() {
+    println!("Selector-overwrite attack (paper §VI) on the simulator\n");
+    println!(
+        "attacker: store ALLOW to the selector byte, perform a hidden\n\
+         syscall, restore BLOCK.\n"
+    );
+
+    match run_attack(Protection::None).expect("unprotected run") {
+        AttackOutcome::Evaded { observed, actual } => {
+            println!(
+                "unprotected lazypoline : EVADED — interposer observed {observed} syscalls, \
+                 kernel executed {actual}"
+            );
+        }
+        other => println!("unprotected lazypoline : unexpected {other:?}"),
+    }
+
+    match run_attack(Protection::ReadOnlySelector).expect("protected run") {
+        AttackOutcome::Blocked => {
+            println!("protected selector     : BLOCKED — the overwrite faulted, task killed");
+        }
+        other => println!("protected selector     : unexpected {other:?}"),
+    }
+
+    let (unprot, prot) = sim_interpose::security::protection_overhead(200).expect("overhead");
+    println!(
+        "\nprotection cost: {:.2}x per interposed syscall (mprotect-windowed; real MPK \
+         domain switches are ~20 cycles)",
+        prot as f64 / unprot as f64
+    );
+    println!(
+        "\n=> exactly the paper's point: selector-only SUD reduces attacker-robustness to an\n\
+           intra-process memory-isolation problem, solvable with existing primitives."
+    );
+}

@@ -1,0 +1,57 @@
+//! Quantitative cross-mechanism comparison on the simulator —
+//! Table I's efficiency column with numbers attached, including the
+//! mechanisms the native harness cannot measure fairly in-process
+//! (ptrace, seccomp variants).
+//!
+//! Two workloads: the Table II microbenchmark loop and a server-like
+//! request loop.
+
+use lp_bench::env_u64;
+use lp_bench::report::Table;
+use sim_interpose::{Interposed, Mechanism};
+
+fn cycles_for(mechanism: Mechanism, program: &[u8], prep: impl Fn(&mut sim_kernel::System)) -> u64 {
+    let mut ip = Interposed::setup(mechanism, program, false).expect("setup");
+    prep(&mut ip.system);
+    ip.run().unwrap_or_else(|e| panic!("{mechanism:?}: {e}"));
+    ip.cycles()
+}
+
+fn main() {
+    let iters = env_u64("LP_SIM_ITERS", 2000);
+    let micro = sim_workloads::bench::microbench(iters);
+    let server = sim_workloads::bench::server_loop(iters / 10, 4);
+
+    println!("Simulated mechanism comparison ({iters} microbench iterations)\n");
+    let mut table = Table::new([
+        "Mechanism",
+        "micro cycles",
+        "micro overhead",
+        "server cycles",
+        "server overhead",
+    ]);
+
+    let micro_base = cycles_for(Mechanism::Baseline, &micro, |_| {}) as f64;
+    let server_base = cycles_for(Mechanism::Baseline, &server, |sys| {
+        sim_workloads::bench::prepare_server_fs(&mut sys.kernel, 4)
+    }) as f64;
+
+    for mech in Mechanism::all() {
+        let mc = cycles_for(mech, &micro, |_| {}) as f64;
+        let sc = cycles_for(mech, &server, |sys| {
+            sim_workloads::bench::prepare_server_fs(&mut sys.kernel, 4)
+        }) as f64;
+        table.row([
+            mech.name().to_string(),
+            format!("{mc:.0}"),
+            format!("{:.2}x", mc / micro_base),
+            format!("{sc:.0}"),
+            format!("{:.2}x", sc / server_base),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\n(cost model calibrated to the paper's Table II ratios — see EXPERIMENTS.md;\n\
+         ptrace and the seccomp rows are the simulation-only baselines)"
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Table II**: microbenchmarking overhead compared to
+//! baseline (native, on this host's real kernel).
+//!
+//! ```sh
+//! cargo run -p lp-bench --bin table2 --release
+//! LP_BENCH_ITERS=2000000 LP_BENCH_RUNS=10 cargo run -p lp-bench --bin table2 --release
+//! ```
+
+use lp_bench::micro;
+use lp_bench::report::Table;
+
+/// The paper's Table II values for side-by-side comparison.
+const PAPER: &[(&str, f64)] = &[
+    ("zpoline", 1.2),
+    ("lazypoline without xstate preservation", 1.66),
+    ("lazypoline", 2.38),
+    ("SUD", 20.8),
+    ("baseline with SUD enabled (selector=ALLOW)", 1.42),
+];
+
+fn main() {
+    if !micro::environment_supported() {
+        eprintln!(
+            "skip: this host cannot run the native microbenchmark \
+             (needs Linux >= 5.11 SUD and vm.mmap_min_addr = 0)"
+        );
+        return;
+    }
+    let results = micro::run_table2();
+    println!(
+        "Table II — microbenchmark overhead vs baseline (syscall 500 x {} iters, {} runs)\n",
+        results.iters, results.runs
+    );
+    let mut table = Table::new(["Configuration", "measured", "paper", "cycles/call", "σ%"]);
+    let mut max_sd: f64 = results.baseline.stddev_pct();
+    for (name, ratio, sd) in results.rows() {
+        let paper = PAPER
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| format!("{v:.2}x"))
+            .unwrap_or_default();
+        let cycles = ratio * results.baseline.cycles();
+        table.row([
+            name.to_string(),
+            format!("{ratio:.2}x"),
+            paper,
+            format!("{cycles:.0}"),
+            format!("{sd:.2}"),
+        ]);
+        max_sd = max_sd.max(sd);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nbaseline: {:.0} cycles/call; max relative stddev {:.2}%",
+        results.baseline.cycles(),
+        max_sd
+    );
+    println!("(paper: Xeon Gold 5318S @2.1GHz, Linux 5.15; this host differs — compare shapes, not absolutes)");
+}

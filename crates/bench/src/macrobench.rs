@@ -1,0 +1,338 @@
+//! The native Figure 5 web-server macrobenchmark.
+//!
+//! For every (server flavour × worker count × file size ×
+//! interposition) cell, a fresh server process is forked, configured,
+//! and measured over localhost with the wrk-like keep-alive client —
+//! the paper's §V-B(b) setup scaled to this machine.
+//!
+//! Interposition configurations:
+//!
+//! * `Baseline` — no machinery.
+//! * `Lazypoline` / `LazypolineNoX` — the hybrid engine with/without
+//!   extended-state preservation.
+//! * `Sud` — the engine with lazy rewriting disabled: every syscall
+//!   takes the SIGSYS slow path (pure SUD interposition).
+//! * `Zpoline` — the engine primed by a warmup phase, then detached
+//!   from SUD (`SIGUSR1` → unenroll): all hot sites are rewritten and
+//!   dispatch through the trampoline with the kernel's SUD machinery
+//!   completely off — the paper's own method for isolating pure
+//!   rewriting performance (Fig. 4).
+
+use std::io::{self, Read, Write};
+use std::os::fd::FromRawFd;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+use httpd::{Docroot, Flavor, LoadConfig, Server, ServerConfig};
+use lazypoline::{Config, XstateMask};
+
+use crate::{env_f64, env_u64};
+
+/// Interposition applied to the server process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerInterposition {
+    /// Native execution.
+    Baseline,
+    /// Primed rewriting, SUD off.
+    Zpoline,
+    /// Hybrid engine, no xstate preservation.
+    LazypolineNoX,
+    /// Hybrid engine, full xstate preservation.
+    Lazypoline,
+    /// Pure SUD (lazy rewriting disabled).
+    Sud,
+}
+
+impl ServerInterposition {
+    /// Row label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServerInterposition::Baseline => "baseline",
+            ServerInterposition::Zpoline => "zpoline",
+            ServerInterposition::LazypolineNoX => "lazypoline (no xstate)",
+            ServerInterposition::Lazypoline => "lazypoline",
+            ServerInterposition::Sud => "SUD",
+        }
+    }
+
+    /// All configurations in Figure 5 order.
+    pub fn all() -> [ServerInterposition; 5] {
+        [
+            ServerInterposition::Baseline,
+            ServerInterposition::Zpoline,
+            ServerInterposition::LazypolineNoX,
+            ServerInterposition::Lazypoline,
+            ServerInterposition::Sud,
+        ]
+    }
+}
+
+/// One measured cell of Figure 5.
+#[derive(Clone, Debug)]
+pub struct MacroCell {
+    /// Server flavour.
+    pub flavor: Flavor,
+    /// Worker processes.
+    pub workers: usize,
+    /// Served file size in bytes.
+    pub size: usize,
+    /// Interposition configuration.
+    pub interposition: ServerInterposition,
+    /// Measured requests per second.
+    pub rps: f64,
+    /// Client-observed errors.
+    pub errors: u64,
+}
+
+/// Sweep parameters (env-overridable).
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Server flavours to run.
+    pub flavors: Vec<Flavor>,
+    /// Worker counts (paper: 1 and 12).
+    pub worker_counts: Vec<usize>,
+    /// File sizes (paper: 64B–256KB).
+    pub sizes: Vec<usize>,
+    /// Interposition rows.
+    pub configs: Vec<ServerInterposition>,
+    /// Measured seconds per cell.
+    pub secs: f64,
+    /// Client keep-alive connections.
+    pub connections: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            flavors: vec![Flavor::NginxLike, Flavor::LighttpdLike],
+            worker_counts: vec![1, env_u64("LP_BENCH_WORKERS", 12) as usize],
+            sizes: vec![64, 4 << 10, 64 << 10, 256 << 10],
+            configs: ServerInterposition::all().to_vec(),
+            secs: env_f64("LP_BENCH_SECS", 1.5),
+            connections: env_u64("LP_BENCH_CONNS", 4) as usize,
+        }
+    }
+}
+
+/// Runs one cell: forks the server, applies the configuration,
+/// measures throughput, and tears the server down.
+///
+/// # Errors
+///
+/// I/O errors from the fork/pipe/load plumbing.
+pub fn run_cell(
+    docroot: &Docroot,
+    flavor: Flavor,
+    workers: usize,
+    size: usize,
+    interposition: ServerInterposition,
+    secs: f64,
+    connections: usize,
+) -> io::Result<MacroCell> {
+    let (read_fd, write_fd) = pipe()?;
+
+    // SAFETY: standard fork; the child only uses async-signal-safe-ish
+    // setup before entering its own event loop.
+    let pid = unsafe { libc::fork() };
+    if pid < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if pid == 0 {
+        drop(read_fd);
+        server_child(docroot, flavor, workers, interposition, write_fd);
+    }
+    drop(write_fd);
+
+    // Parent: learn the port.
+    let mut buf = [0u8; 2];
+    let mut r = read_fd;
+    r.read_exact(&mut buf)?;
+    let port = u16::from_le_bytes(buf);
+
+    let path = httpd::docroot::path_for_size(size);
+
+    // Warmup: drives every hot syscall site at least once (rewriting).
+    let _ = httpd::run_load(&LoadConfig {
+        port,
+        path: path.clone(),
+        connections: 2,
+        duration: Duration::from_millis(300),
+    });
+
+    if interposition == ServerInterposition::Zpoline {
+        // Detach the primed server from SUD.
+        unsafe { libc::kill(-pid, libc::SIGUSR1) };
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let report = httpd::run_load(&LoadConfig {
+        port,
+        path,
+        connections,
+        duration: Duration::from_secs_f64(secs),
+    })?;
+
+    unsafe {
+        libc::kill(-pid, libc::SIGKILL);
+        libc::waitpid(pid, std::ptr::null_mut(), 0);
+    }
+
+    Ok(MacroCell {
+        flavor,
+        workers,
+        size,
+        interposition,
+        rps: report.rps(),
+        errors: report.errors,
+    })
+}
+
+fn server_child(
+    docroot: &Docroot,
+    flavor: Flavor,
+    workers: usize,
+    interposition: ServerInterposition,
+    mut write_fd: std::fs::File,
+) -> ! {
+    unsafe { libc::setpgid(0, 0) };
+
+    // SIGUSR1 = "drop out of SUD" (zpoline detach). Registered before
+    // engine init; the engine adopts it into the wrapper protocol.
+    unsafe {
+        let mut sa: libc::sigaction = std::mem::zeroed();
+        sa.sa_sigaction = sigusr1_unenroll as *const () as usize;
+        sa.sa_flags = libc::SA_SIGINFO;
+        libc::sigaction(libc::SIGUSR1, &sa, std::ptr::null_mut());
+    }
+
+    let engine_config = match interposition {
+        ServerInterposition::Baseline => None,
+        ServerInterposition::Zpoline => Some(Config {
+            xstate: XstateMask::None,
+            ..Config::default()
+        }),
+        ServerInterposition::LazypolineNoX => Some(Config {
+            xstate: XstateMask::None,
+            ..Config::default()
+        }),
+        ServerInterposition::Lazypoline => Some(Config::default()),
+        ServerInterposition::Sud => Some(Config {
+            lazy_rewriting: false,
+            ..Config::default()
+        }),
+    };
+    if let Some(cfg) = engine_config {
+        match lazypoline::init(cfg) {
+            Ok(engine) => std::mem::forget(engine),
+            Err(e) => {
+                eprintln!("server child: interposition unavailable: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = match Server::bind(ServerConfig {
+        flavor,
+        workers,
+        docroot: docroot.path().to_path_buf(),
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("server child: bind: {e}");
+            std::process::exit(2);
+        }
+    };
+    let port = server.port();
+    let _ = write_fd.write_all(&port.to_le_bytes());
+    drop(write_fd);
+
+    static NEVER: AtomicBool = AtomicBool::new(false);
+    let _ = server.run(&NEVER);
+    std::process::exit(0);
+}
+
+unsafe extern "C" fn sigusr1_unenroll(
+    _sig: libc::c_int,
+    _info: *mut libc::siginfo_t,
+    _ctx: *mut libc::c_void,
+) {
+    sud::set_selector(sud::Dispatch::Allow);
+    let _ = sud::disable_thread();
+}
+
+fn pipe() -> io::Result<(std::fs::File, std::fs::File)> {
+    let mut fds = [0i32; 2];
+    // SAFETY: plain pipe2.
+    if unsafe { libc::pipe2(fds.as_mut_ptr(), libc::O_CLOEXEC) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: fresh fds owned exactly once each.
+    unsafe {
+        Ok((
+            std::fs::File::from_raw_fd(fds[0]),
+            std::fs::File::from_raw_fd(fds[1]),
+        ))
+    }
+}
+
+/// Runs the whole Figure 5 sweep.
+///
+/// # Errors
+///
+/// Propagates the first cell failure.
+pub fn run_fig5(sweep: &SweepConfig) -> io::Result<Vec<MacroCell>> {
+    let docroot = Docroot::create(&sweep.sizes)?;
+    let mut cells = Vec::new();
+    for &flavor in &sweep.flavors {
+        for &workers in &sweep.worker_counts {
+            for &size in &sweep.sizes {
+                for &config in &sweep.configs {
+                    let cell = run_cell(
+                        &docroot,
+                        flavor,
+                        workers,
+                        size,
+                        config,
+                        sweep.secs,
+                        sweep.connections,
+                    )?;
+                    eprintln!(
+                        "  {} w={} {}B {}: {:.0} req/s ({} errors)",
+                        flavor.name(),
+                        workers,
+                        size,
+                        config.name(),
+                        cell.rps,
+                        cell.errors,
+                    );
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_names_and_order() {
+        let all = ServerInterposition::all();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].name(), "baseline");
+        assert_eq!(all[4].name(), "SUD");
+    }
+
+    #[test]
+    fn default_sweep_is_sane() {
+        let s = SweepConfig::default();
+        assert!(s.sizes.contains(&(256 << 10)));
+        assert_eq!(s.worker_counts[0], 1);
+        assert!(s.secs > 0.0);
+    }
+
+    // Full cells are exercised by the fig5 binary and an integration
+    // test (they fork servers and run seconds-long load phases).
+}

@@ -1,0 +1,134 @@
+//! Table formatting and statistics for the harness binaries.
+
+/// Geometric mean of strictly positive samples.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geomean(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "geomean of nothing");
+    let log_sum: f64 = samples.iter().map(|s| s.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+/// Relative standard deviation (σ/μ) in percent.
+pub fn rel_stddev_pct(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+        / (samples.len() - 1) as f64;
+    100.0 * var.sqrt() / mean
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells beyond the header count are dropped).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.truncate(self.header.len().max(row.len()));
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = w - cell.chars().count();
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_stddev_basics() {
+        assert_eq!(rel_stddev_pct(&[5.0]), 0.0);
+        assert_eq!(rel_stddev_pct(&[5.0, 5.0, 5.0]), 0.0);
+        let sd = rel_stddev_pct(&[9.0, 11.0]);
+        assert!((sd - 14.14).abs() < 0.1, "{sd}");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["zpoline", "1.20x"]);
+        t.row(["lazypoline", "2.38x"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("zpoline"));
+        // Columns aligned: "1.20x" and "2.38x" start at same offset.
+        let off2 = lines[2].find("1.20x").unwrap();
+        let off3 = lines[3].find("2.38x").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of nothing")]
+    fn geomean_empty_panics() {
+        geomean(&[]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimal HTTP/1.1 request parsing and response construction.
+//!
+//! Only what the benchmark needs: GET requests, keep-alive, and
+//! fixed-length bodies. Parsing is allocation-light and incremental
+//! (requests may arrive split across reads).
+
+/// A parsed GET request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The request path, e.g. `/file_4096`.
+    pub path: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Incremental request accumulator for one connection.
+#[derive(Debug, Default)]
+pub struct RequestBuffer {
+    buf: Vec<u8>,
+}
+
+impl RequestBuffer {
+    /// Creates an empty accumulator.
+    pub fn new() -> RequestBuffer {
+        RequestBuffer { buf: Vec::new() }
+    }
+
+    /// Appends freshly-read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete request, if a full header block
+    /// (`\r\n\r\n`) has arrived. Leftover bytes (pipelined requests)
+    /// are retained.
+    pub fn next_request(&mut self) -> Option<Request> {
+        let end = find_header_end(&self.buf)?;
+        let header: Vec<u8> = self.buf.drain(..end + 4).collect();
+        parse_request(&header)
+    }
+
+    /// Bytes currently buffered (for overload protection).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_request(header: &[u8]) -> Option<Request> {
+    let text = std::str::from_utf8(header).ok()?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // HTTP/1.1 defaults to keep-alive; 1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("connection:") {
+            keep_alive = v.trim() == "keep-alive";
+        }
+    }
+    Some(Request {
+        path: path.to_string(),
+        keep_alive,
+    })
+}
+
+/// Builds a `200 OK` response header for a body of `len` bytes.
+pub fn response_header(len: usize, keep_alive: bool) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 200 OK\r\nServer: lp-httpd\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        len,
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+    .into_bytes()
+}
+
+/// Builds a `404 Not Found` response.
+pub fn response_404(keep_alive: bool) -> Vec<u8> {
+    let body = b"not found\n";
+    let mut r = format!(
+        "HTTP/1.1 404 Not Found\r\nServer: lp-httpd\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+    .into_bytes();
+    r.extend_from_slice(body);
+    r
+}
+
+/// Builds the canonical benchmark request for `path`.
+pub fn get_request(path: &str, keep_alive: bool) -> Vec<u8> {
+    format!(
+        "GET {} HTTP/1.1\r\nHost: localhost\r\nConnection: {}\r\n\r\n",
+        path,
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_get() {
+        let mut rb = RequestBuffer::new();
+        rb.push(b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n");
+        let r = rb.next_request().unwrap();
+        assert_eq!(r.path, "/x");
+        assert!(r.keep_alive);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn split_across_reads() {
+        let mut rb = RequestBuffer::new();
+        rb.push(b"GET /abc HT");
+        assert!(rb.next_request().is_none());
+        rb.push(b"TP/1.1\r\n");
+        assert!(rb.next_request().is_none());
+        rb.push(b"\r\n");
+        assert_eq!(rb.next_request().unwrap().path, "/abc");
+    }
+
+    #[test]
+    fn pipelined_requests_preserved() {
+        let mut rb = RequestBuffer::new();
+        rb.push(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(rb.next_request().unwrap().path, "/a");
+        assert_eq!(rb.next_request().unwrap().path, "/b");
+        assert!(rb.next_request().is_none());
+    }
+
+    #[test]
+    fn connection_close_detected() {
+        let mut rb = RequestBuffer::new();
+        rb.push(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!rb.next_request().unwrap().keep_alive);
+        rb.push(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!rb.next_request().unwrap().keep_alive);
+    }
+
+    #[test]
+    fn non_get_rejected() {
+        let mut rb = RequestBuffer::new();
+        rb.push(b"POST / HTTP/1.1\r\n\r\n");
+        assert!(rb.next_request().is_none());
+    }
+
+    #[test]
+    fn header_and_request_roundtrip() {
+        let hdr = response_header(1234, true);
+        let s = String::from_utf8(hdr).unwrap();
+        assert!(s.contains("Content-Length: 1234"));
+        assert!(s.contains("keep-alive"));
+        assert!(s.ends_with("\r\n\r\n"));
+
+        let req = get_request("/file_64", true);
+        let mut rb = RequestBuffer::new();
+        rb.push(&req);
+        assert_eq!(rb.next_request().unwrap().path, "/file_64");
+    }
+
+    #[test]
+    fn not_found_is_well_formed() {
+        let r = String::from_utf8(response_404(false)).unwrap();
+        assert!(r.starts_with("HTTP/1.1 404"));
+        assert!(r.contains("Connection: close"));
+    }
+}

@@ -1,0 +1,530 @@
+//! The epoll event-loop server.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpListener;
+use std::os::fd::{AsRawFd, RawFd};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::http::{response_404, response_header, RequestBuffer};
+
+/// Which real-world server's syscall mix to mimic (see crate docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flavor {
+    /// Uncached per-request file I/O (openat/fstat/read×N/close).
+    NginxLike,
+    /// In-memory content, minimal per-request syscalls.
+    LighttpdLike,
+}
+
+impl Flavor {
+    /// Short name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Flavor::NginxLike => "nginx-like",
+            Flavor::LighttpdLike => "lighttpd-like",
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Syscall-mix flavour.
+    pub flavor: Flavor,
+    /// Worker processes (1 = single process, no fork).
+    pub workers: usize,
+    /// Directory containing the files to serve.
+    pub docroot: PathBuf,
+}
+
+/// A bound server, ready to run.
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+    listener: TcpListener,
+    port: u16,
+}
+
+/// Read chunk size for the nginx-like per-request file reads (nginx's
+/// default output buffering is 32 KiB).
+const READ_CHUNK: usize = 32 * 1024;
+
+impl Server {
+    /// Binds a `SO_REUSEPORT` listener on an ephemeral localhost port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = bind_reuseport(0)?;
+        let port = listener.local_addr()?.port();
+        Ok(Server {
+            config,
+            listener,
+            port,
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Runs the server until `stop` becomes true.
+    ///
+    /// With `workers > 1`, forks `workers - 1` additional processes,
+    /// each with its own `SO_REUSEPORT` listener (the nginx
+    /// master/worker model); the calling process becomes worker 0.
+    /// Forked workers exit when `stop` is observed (each process polls
+    /// its own copy-on-write view — in the benchmark harness workers
+    /// are simply killed with the parent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fork/socket/epoll errors from this process's setup.
+    pub fn run(self, stop: &AtomicBool) -> io::Result<()> {
+        let mut children = Vec::new();
+        for _ in 1..self.config.workers {
+            // SAFETY: plain fork; children diverge immediately into
+            // their own event loop and never return.
+            match unsafe { libc::fork() } {
+                -1 => return Err(io::Error::last_os_error()),
+                0 => {
+                    let listener = bind_reuseport(self.port)?;
+                    let code = match worker_loop(&self.config, listener, stop) {
+                        Ok(()) => 0,
+                        Err(_) => 1,
+                    };
+                    std::process::exit(code);
+                }
+                pid => children.push(pid),
+            }
+        }
+        let r = worker_loop(&self.config, self.listener, stop);
+        for pid in children {
+            unsafe {
+                libc::kill(pid, libc::SIGKILL);
+                libc::waitpid(pid, std::ptr::null_mut(), 0);
+            }
+        }
+        r
+    }
+
+    /// Convenience for tests: runs a 1-worker server on a background
+    /// thread; returns `(port, stop flag, join handle)`.
+    pub fn spawn_in_thread(
+        config: ServerConfig,
+    ) -> io::Result<(u16, Arc<AtomicBool>, std::thread::JoinHandle<io::Result<()>>)> {
+        let server = Server::bind(ServerConfig {
+            workers: 1,
+            ..config
+        })?;
+        let port = server.port();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || server.run(&stop2));
+        Ok((port, stop, handle))
+    }
+}
+
+fn bind_reuseport(port: u16) -> io::Result<TcpListener> {
+    unsafe {
+        let fd = libc::socket(libc::AF_INET, libc::SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let one: libc::c_int = 1;
+        libc::setsockopt(
+            fd,
+            libc::SOL_SOCKET,
+            libc::SO_REUSEADDR,
+            &one as *const _ as *const libc::c_void,
+            std::mem::size_of::<libc::c_int>() as u32,
+        );
+        libc::setsockopt(
+            fd,
+            libc::SOL_SOCKET,
+            libc::SO_REUSEPORT,
+            &one as *const _ as *const libc::c_void,
+            std::mem::size_of::<libc::c_int>() as u32,
+        );
+        let addr = libc::sockaddr_in {
+            sin_family: libc::AF_INET as u16,
+            sin_port: port.to_be(),
+            sin_addr: libc::in_addr {
+                s_addr: u32::from_ne_bytes([127, 0, 0, 1]),
+            },
+            sin_zero: [0; 8],
+        };
+        if libc::bind(
+            fd,
+            &addr as *const _ as *const libc::sockaddr,
+            std::mem::size_of::<libc::sockaddr_in>() as u32,
+        ) != 0
+        {
+            let e = io::Error::last_os_error();
+            libc::close(fd);
+            return Err(e);
+        }
+        if libc::listen(fd, 1024) != 0 {
+            let e = io::Error::last_os_error();
+            libc::close(fd);
+            return Err(e);
+        }
+        use std::os::fd::FromRawFd;
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+struct Conn {
+    fd: RawFd,
+    inbuf: RequestBuffer,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    close_after_flush: bool,
+}
+
+fn worker_loop(
+    config: &ServerConfig,
+    listener: TcpListener,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let lfd = listener.as_raw_fd();
+
+    // lighttpd-like: preload content once; nginx-like: uncached I/O.
+    let cache: HashMap<String, Vec<u8>> = if config.flavor == Flavor::LighttpdLike {
+        let mut m = HashMap::new();
+        for entry in std::fs::read_dir(&config.docroot)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                let name = format!("/{}", entry.file_name().to_string_lossy());
+                m.insert(name, std::fs::read(entry.path())?);
+            }
+        }
+        m
+    } else {
+        HashMap::new()
+    };
+
+    unsafe {
+        let ep = libc::epoll_create1(0);
+        if ep < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        epoll_add(ep, lfd, libc::EPOLLIN as u32)?;
+
+        let mut conns: HashMap<RawFd, Conn> = HashMap::new();
+        let mut events = vec![libc::epoll_event { events: 0, u64: 0 }; 256];
+        let mut scratch = vec![0u8; READ_CHUNK];
+
+        while !stop.load(Ordering::Relaxed) {
+            let n = libc::epoll_wait(ep, events.as_mut_ptr(), events.len() as i32, 50);
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            for ev in &events[..n as usize] {
+                let fd = ev.u64 as RawFd;
+                if fd == lfd {
+                    accept_all(ep, lfd, &mut conns);
+                    continue;
+                }
+                let Some(conn) = conns.get_mut(&fd) else {
+                    continue;
+                };
+                let mut dead = false;
+                if ev.events & libc::EPOLLIN as u32 != 0 {
+                    dead = handle_readable(config, &cache, conn, &mut scratch);
+                }
+                if !dead && ev.events & (libc::EPOLLOUT as u32 | libc::EPOLLIN as u32) != 0 {
+                    dead = flush(conn);
+                }
+                if !dead {
+                    // Track write interest.
+                    let want_out = conn.outpos < conn.outbuf.len();
+                    let mut interest = libc::EPOLLIN as u32;
+                    if want_out {
+                        interest |= libc::EPOLLOUT as u32;
+                    }
+                    epoll_mod(ep, fd, interest).ok();
+                    if !want_out && conn.close_after_flush {
+                        dead = true;
+                    }
+                }
+                if dead || ev.events & (libc::EPOLLHUP as u32 | libc::EPOLLERR as u32) != 0 {
+                    libc::epoll_ctl(ep, libc::EPOLL_CTL_DEL, fd, std::ptr::null_mut());
+                    libc::close(fd);
+                    conns.remove(&fd);
+                }
+            }
+        }
+        for (&fd, _) in conns.iter() {
+            libc::close(fd);
+        }
+        libc::close(ep);
+    }
+    Ok(())
+}
+
+unsafe fn accept_all(ep: RawFd, lfd: RawFd, conns: &mut HashMap<RawFd, Conn>) {
+    loop {
+        let fd = libc::accept4(
+            lfd,
+            std::ptr::null_mut(),
+            std::ptr::null_mut(),
+            libc::SOCK_NONBLOCK,
+        );
+        if fd < 0 {
+            return; // EAGAIN or transient error: try again on next event
+        }
+        let one: libc::c_int = 1;
+        libc::setsockopt(
+            fd,
+            libc::IPPROTO_TCP,
+            libc::TCP_NODELAY,
+            &one as *const _ as *const libc::c_void,
+            std::mem::size_of::<libc::c_int>() as u32,
+        );
+        if epoll_add(ep, fd, libc::EPOLLIN as u32).is_err() {
+            libc::close(fd);
+            continue;
+        }
+        conns.insert(
+            fd,
+            Conn {
+                fd,
+                inbuf: RequestBuffer::new(),
+                outbuf: Vec::new(),
+                outpos: 0,
+                close_after_flush: false,
+            },
+        );
+    }
+}
+
+/// Reads all available bytes and queues responses. Returns `true` when
+/// the connection is finished (peer closed or fatal error).
+fn handle_readable(
+    config: &ServerConfig,
+    cache: &HashMap<String, Vec<u8>>,
+    conn: &mut Conn,
+    scratch: &mut [u8],
+) -> bool {
+    loop {
+        let n = unsafe {
+            libc::read(
+                conn.fd,
+                scratch.as_mut_ptr() as *mut libc::c_void,
+                scratch.len(),
+            )
+        };
+        match n {
+            0 => return true, // orderly shutdown
+            n if n < 0 => {
+                let e = io::Error::last_os_error();
+                return !matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                );
+            }
+            n => conn.inbuf.push(&scratch[..n as usize]),
+        }
+        while let Some(req) = conn.inbuf.next_request() {
+            serve_one(config, cache, conn, &req.path, req.keep_alive);
+            if !req.keep_alive {
+                conn.close_after_flush = true;
+            }
+        }
+        // Overload guard: a client streaming garbage gets cut off.
+        if conn.inbuf.len() > 64 * 1024 {
+            return true;
+        }
+    }
+}
+
+fn serve_one(
+    config: &ServerConfig,
+    cache: &HashMap<String, Vec<u8>>,
+    conn: &mut Conn,
+    path: &str,
+    keep_alive: bool,
+) {
+    match config.flavor {
+        Flavor::LighttpdLike => match cache.get(path) {
+            Some(body) => {
+                conn.outbuf.extend_from_slice(&response_header(body.len(), keep_alive));
+                conn.outbuf.extend_from_slice(body);
+            }
+            None => conn.outbuf.extend_from_slice(&response_404(keep_alive)),
+        },
+        Flavor::NginxLike => {
+            // Per-request file I/O, like an uncached nginx worker.
+            let fspath = resolve(&config.docroot, path);
+            let served = fspath.and_then(|p| {
+                let mut f = std::fs::File::open(p).ok()?;
+                let len = f.metadata().ok()?.len() as usize;
+                conn.outbuf.extend_from_slice(&response_header(len, keep_alive));
+                let start = conn.outbuf.len();
+                conn.outbuf.resize(start + len, 0);
+                use std::io::Read;
+                let mut off = 0;
+                while off < len {
+                    let chunk = (len - off).min(READ_CHUNK);
+                    match f.read(&mut conn.outbuf[start + off..start + off + chunk]) {
+                        Ok(0) => break,
+                        Ok(n) => off += n,
+                        Err(_) => return None,
+                    }
+                }
+                (off == len).then_some(())
+            });
+            if served.is_none() {
+                conn.outbuf.extend_from_slice(&response_404(keep_alive));
+            }
+        }
+    }
+}
+
+fn resolve(docroot: &std::path::Path, request_path: &str) -> Option<std::path::PathBuf> {
+    let name = request_path.strip_prefix('/')?;
+    if name.is_empty() || name.contains('/') || name.contains("..") {
+        return None;
+    }
+    let p = docroot.join(name);
+    p.is_file().then_some(p)
+}
+
+/// Writes as much pending output as the socket accepts. Returns `true`
+/// on fatal error.
+fn flush(conn: &mut Conn) -> bool {
+    while conn.outpos < conn.outbuf.len() {
+        let n = unsafe {
+            libc::write(
+                conn.fd,
+                conn.outbuf[conn.outpos..].as_ptr() as *const libc::c_void,
+                conn.outbuf.len() - conn.outpos,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            return !matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+            );
+        }
+        conn.outpos += n as usize;
+    }
+    conn.outbuf.clear();
+    conn.outpos = 0;
+    false
+}
+
+unsafe fn epoll_add(ep: RawFd, fd: RawFd, events: u32) -> io::Result<()> {
+    let mut ev = libc::epoll_event {
+        events,
+        u64: fd as u64,
+    };
+    if libc::epoll_ctl(ep, libc::EPOLL_CTL_ADD, fd, &mut ev) != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+unsafe fn epoll_mod(ep: RawFd, fd: RawFd, events: u32) -> io::Result<()> {
+    let mut ev = libc::epoll_event {
+        events,
+        u64: fd as u64,
+    };
+    if libc::epoll_ctl(ep, libc::EPOLL_CTL_MOD, fd, &mut ev) != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docroot::{path_for_size, pattern, Docroot};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn request_once(port: u16, path: &str) -> Vec<u8> {
+        let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        s.write_all(&crate::http::get_request(path, false)).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        buf
+    }
+
+    fn body_of(response: &[u8]) -> &[u8] {
+        let pos = response
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("header end");
+        &response[pos + 4..]
+    }
+
+    #[test]
+    fn serves_correct_content_both_flavors() {
+        let root = Docroot::create(&[64, 4096]).unwrap();
+        for flavor in [Flavor::NginxLike, Flavor::LighttpdLike] {
+            let (port, stop, handle) = Server::spawn_in_thread(ServerConfig {
+                flavor,
+                workers: 1,
+                docroot: root.path().to_path_buf(),
+            })
+            .unwrap();
+            let resp = request_once(port, &path_for_size(4096));
+            assert!(resp.starts_with(b"HTTP/1.1 200"), "{flavor:?}");
+            assert_eq!(body_of(&resp), pattern(4096), "{flavor:?}");
+
+            let resp = request_once(port, "/missing");
+            assert!(resp.starts_with(b"HTTP/1.1 404"), "{flavor:?}");
+
+            stop.store(true, Ordering::SeqCst);
+            handle.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn keepalive_serves_many_requests_on_one_connection() {
+        let root = Docroot::create(&[64]).unwrap();
+        let (port, stop, handle) = Server::spawn_in_thread(ServerConfig {
+            flavor: Flavor::LighttpdLike,
+            workers: 1,
+            docroot: root.path().to_path_buf(),
+        })
+        .unwrap();
+
+        let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        for _ in 0..50 {
+            s.write_all(&crate::http::get_request("/file_64", true))
+                .unwrap();
+            let mut hdr = Vec::new();
+            let mut byte = [0u8; 1];
+            while !hdr.ends_with(b"\r\n\r\n") {
+                s.read_exact(&mut byte).unwrap();
+                hdr.push(byte[0]);
+            }
+            let mut body = vec![0u8; 64];
+            s.read_exact(&mut body).unwrap();
+            assert_eq!(body, pattern(64));
+        }
+        drop(s);
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn flavor_names() {
+        assert_eq!(Flavor::NginxLike.name(), "nginx-like");
+        assert_eq!(Flavor::LighttpdLike.name(), "lighttpd-like");
+    }
+}

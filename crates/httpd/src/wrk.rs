@@ -1,0 +1,284 @@
+//! wrk-like keep-alive load generator (paper §V-B(b): "we used the wrk
+//! client […] to continuously request the same static resource […] via
+//! a keepalive connection").
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::http::get_request;
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server port on localhost.
+    pub port: u16,
+    /// Resource to hammer, e.g. `/file_4096`.
+    pub path: String,
+    /// Concurrent connections (each on its own thread).
+    pub connections: usize,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+}
+
+/// Results of one load run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LoadReport {
+    /// Completed responses.
+    pub requests: u64,
+    /// Body bytes received.
+    pub body_bytes: u64,
+    /// Connection/protocol errors observed.
+    pub errors: u64,
+    /// Measured wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl LoadReport {
+    /// Requests per second.
+    pub fn rps(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.requests as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs keep-alive load against `127.0.0.1:port` and reports
+/// throughput.
+///
+/// # Errors
+///
+/// Fails only if no connection can be established at all; mid-run
+/// errors are counted in the report.
+pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
+    // Fail fast if the server is not there.
+    TcpStream::connect(("127.0.0.1", config.port))?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let requests = Arc::new(AtomicU64::new(0));
+    let body_bytes = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..config.connections.max(1) {
+        let stop = Arc::clone(&stop);
+        let requests = Arc::clone(&requests);
+        let body_bytes = Arc::clone(&body_bytes);
+        let errors = Arc::clone(&errors);
+        let port = config.port;
+        let path = config.path.clone();
+        threads.push(std::thread::spawn(move || {
+            connection_loop(port, &path, &stop, &requests, &body_bytes, &errors)
+        }));
+    }
+
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::SeqCst);
+    for t in threads {
+        let _ = t.join();
+    }
+    let seconds = start.elapsed().as_secs_f64();
+
+    Ok(LoadReport {
+        requests: requests.load(Ordering::SeqCst),
+        body_bytes: body_bytes.load(Ordering::SeqCst),
+        errors: errors.load(Ordering::SeqCst),
+        seconds,
+    })
+}
+
+fn connection_loop(
+    port: u16,
+    path: &str,
+    stop: &AtomicBool,
+    requests: &AtomicU64,
+    body_bytes: &AtomicU64,
+    errors: &AtomicU64,
+) {
+    let request = get_request(path, true);
+    let mut readbuf = vec![0u8; 64 * 1024];
+    'reconnect: while !stop.load(Ordering::Relaxed) {
+        let mut conn = match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(c) => c,
+            Err(_) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        conn.set_nodelay(true).ok();
+        conn.set_read_timeout(Some(Duration::from_millis(200))).ok();
+
+        while !stop.load(Ordering::Relaxed) {
+            if conn.write_all(&request).is_err() {
+                if !stop.load(Ordering::Relaxed) {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+                continue 'reconnect;
+            }
+            match read_response(&mut conn, &mut readbuf, stop) {
+                Ok(body) => {
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    body_bytes.fetch_add(body as u64, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // A response cut short by the stop flag is not a
+                    // server error.
+                    if !stop.load(Ordering::Relaxed) {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue 'reconnect;
+                }
+            }
+        }
+        return;
+    }
+}
+
+/// Reads one full response (header + Content-Length body); returns the
+/// body length.
+fn read_response(
+    conn: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> io::Result<usize> {
+    let mut have = 0usize;
+    let mut header_end = None;
+    // Read until the full header is in the buffer.
+    while header_end.is_none() {
+        if stop.load(Ordering::Relaxed) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "stopped"));
+        }
+        let n = match conn.read(&mut buf[have..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")),
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => continue,
+            Err(e) => return Err(e),
+        };
+        have += n;
+        header_end = buf[..have].windows(4).position(|w| w == b"\r\n\r\n");
+        if header_end.is_none() && have == buf.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "header too big"));
+        }
+    }
+    let he = header_end.unwrap() + 4;
+    let header = std::str::from_utf8(&buf[..he])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad header"))?;
+    let len: usize = header
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().parse().unwrap_or(0))
+        })
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no content-length"))?;
+
+    // Drain the body (possibly partially in buf already).
+    let mut body_have = have - he;
+    while body_have < len {
+        if stop.load(Ordering::Relaxed) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "stopped"));
+        }
+        let want = (len - body_have).min(buf.len());
+        match conn.read(&mut buf[..want]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in body")),
+            Ok(n) => body_have += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docroot::{path_for_size, Docroot};
+    use crate::server::{Flavor, Server, ServerConfig};
+
+    #[test]
+    fn load_run_reports_throughput() {
+        let root = Docroot::create(&[1024]).unwrap();
+        let (port, stop, handle) = Server::spawn_in_thread(ServerConfig {
+            flavor: Flavor::LighttpdLike,
+            workers: 1,
+            docroot: root.path().to_path_buf(),
+        })
+        .unwrap();
+
+        let report = run_load(&LoadConfig {
+            port,
+            path: path_for_size(1024),
+            connections: 2,
+            duration: Duration::from_millis(300),
+        })
+        .unwrap();
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap().unwrap();
+
+        assert!(report.requests > 10, "too slow: {report:?}");
+        assert_eq!(report.body_bytes, report.requests * 1024);
+        assert!(report.rps() > 0.0);
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn connecting_to_dead_port_errors() {
+        let r = run_load(&LoadConfig {
+            port: 1,
+            path: "/x".into(),
+            connections: 1,
+            duration: Duration::from_millis(10),
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn report_rps_math() {
+        let r = LoadReport {
+            requests: 100,
+            body_bytes: 0,
+            errors: 0,
+            seconds: 2.0,
+        };
+        assert_eq!(r.rps(), 50.0);
+        assert_eq!(LoadReport::default().rps(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod large_tests {
+    use super::*;
+    use crate::docroot::{path_for_size, Docroot};
+    use crate::server::{Flavor, Server, ServerConfig};
+
+    #[test]
+    fn large_file_load() {
+        let root = Docroot::create(&[65536]).unwrap();
+        let (port, stop, handle) = Server::spawn_in_thread(ServerConfig {
+            flavor: Flavor::NginxLike,
+            workers: 1,
+            docroot: root.path().to_path_buf(),
+        })
+        .unwrap();
+        let report = run_load(&LoadConfig {
+            port,
+            path: path_for_size(65536),
+            connections: 2,
+            duration: std::time::Duration::from_millis(500),
+        })
+        .unwrap();
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        handle.join().unwrap().unwrap();
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert!(report.requests > 5, "{report:?}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the HTTP plumbing: request parsing must be
+//! chunking-invariant (the event loop delivers bytes in arbitrary
+//! pieces).
+
+use proptest::prelude::*;
+
+use lp_httpd::http::{get_request, response_header, Request, RequestBuffer};
+
+fn drain(rb: &mut RequestBuffer) -> Vec<Request> {
+    let mut out = Vec::new();
+    while let Some(r) = rb.next_request() {
+        out.push(r);
+    }
+    out
+}
+
+proptest! {
+    /// However a byte stream of back-to-back requests is chunked, the
+    /// same sequence of parsed requests comes out.
+    #[test]
+    fn parsing_is_chunking_invariant(
+        paths in proptest::collection::vec("[a-z_0-9]{1,12}", 1..8),
+        cut_points in proptest::collection::vec(any::<u16>(), 0..16),
+        keep_alive in any::<bool>(),
+    ) {
+        let mut stream = Vec::new();
+        for p in &paths {
+            stream.extend_from_slice(&get_request(&format!("/{p}"), keep_alive));
+        }
+
+        // Reference: single push.
+        let mut whole = RequestBuffer::new();
+        whole.push(&stream);
+        let reference = drain(&mut whole);
+
+        // Chunked: cut at arbitrary sorted points.
+        let mut cuts: Vec<usize> = cut_points
+            .iter()
+            .map(|&c| c as usize % (stream.len() + 1))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut chunked = RequestBuffer::new();
+        let mut parsed = Vec::new();
+        let mut prev = 0;
+        for cut in cuts.into_iter().chain([stream.len()]) {
+            chunked.push(&stream[prev..cut]);
+            parsed.extend(drain(&mut chunked));
+            prev = cut;
+        }
+
+        prop_assert_eq!(parsed.len(), reference.len());
+        for (a, b) in parsed.iter().zip(reference.iter()) {
+            prop_assert_eq!(&a.path, &b.path);
+            prop_assert_eq!(a.keep_alive, b.keep_alive);
+        }
+        prop_assert_eq!(reference.len(), paths.len());
+    }
+
+    /// Response headers always parse back their own content length and
+    /// terminate correctly.
+    #[test]
+    fn response_headers_wellformed(len in 0usize..10_000_000, ka in any::<bool>()) {
+        let hdr = String::from_utf8(response_header(len, ka)).unwrap();
+        prop_assert!(hdr.starts_with("HTTP/1.1 200 OK\r\n"));
+        prop_assert!(hdr.ends_with("\r\n\r\n"));
+        let want_len = format!("Content-Length: {len}\r\n");
+        prop_assert!(hdr.contains(&want_len));
+        let conn = if ka { "keep-alive" } else { "close" };
+        let want_conn = format!("Connection: {conn}\r\n");
+        prop_assert!(hdr.contains(&want_conn));
+    }
+
+    /// Garbage bytes never panic the parser and never fabricate a
+    /// request unless they accidentally form one.
+    #[test]
+    fn garbage_is_safe(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut rb = RequestBuffer::new();
+        rb.push(&bytes);
+        let _ = drain(&mut rb); // must not panic
+    }
+}

@@ -1,0 +1,80 @@
+//! Process-global handler registration.
+//!
+//! Interposition mechanisms (the lazypoline engine, the zpoline
+//! dispatcher, the SUD-only interposer) consult one global handler so
+//! that swapping mechanisms never requires re-registering policy. The
+//! handler is stored behind an `AtomicPtr` to a leaked double box: the
+//! hot path is a single atomic load and the handler lives for the rest
+//! of the process (interposition is one-way; rewritten code sites can
+//! fire at any time until exit).
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use crate::{Action, SyscallEvent, SyscallHandler};
+
+static GLOBAL: AtomicPtr<Box<dyn SyscallHandler>> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Installs `handler` as the process-global interposer, replacing any
+/// previous one.
+///
+/// The handler is intentionally leaked: intercepted syscalls can occur
+/// on any thread at any time once code has been rewritten, so there is
+/// no safe point to drop it. (A replaced handler leaks too — handlers
+/// are expected to be installed once, near startup.)
+pub fn set_global_handler(handler: Box<dyn SyscallHandler>) {
+    let thin = Box::into_raw(Box::new(handler));
+    GLOBAL.store(thin, Ordering::SeqCst);
+}
+
+/// Returns the registered handler, if any.
+pub fn global_handler() -> Option<&'static dyn SyscallHandler> {
+    let p = GLOBAL.load(Ordering::Acquire);
+    if p.is_null() {
+        None
+    } else {
+        // SAFETY: set_global_handler leaks the box, so the pointee is
+        // valid for 'static.
+        Some(unsafe { (*p).as_ref() })
+    }
+}
+
+/// Runs the global handler on `event`; [`Action::Passthrough`] when no
+/// handler is registered.
+pub fn dispatch_global(event: &mut SyscallEvent) -> Action {
+    match global_handler() {
+        Some(h) => h.handle(event),
+        None => Action::Passthrough,
+    }
+}
+
+/// Runs the global handler's post hook on an executed syscall's result.
+pub fn post_global(event: &SyscallEvent, ret: u64) -> u64 {
+    match global_handler() {
+        Some(h) => h.post(event, ret),
+        None => ret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PassthroughHandler;
+    use syscalls::SyscallArgs;
+
+    #[test]
+    fn unregistered_defaults_to_passthrough() {
+        // Note: global state — this test runs before any set in this
+        // process only when filtered; tolerate either outcome.
+        let mut ev = SyscallEvent::new(SyscallArgs::nullary(39));
+        let _ = dispatch_global(&mut ev);
+    }
+
+    #[test]
+    fn register_and_dispatch() {
+        set_global_handler(Box::new(PassthroughHandler));
+        assert!(global_handler().is_some());
+        assert_eq!(global_handler().unwrap().name(), "passthrough");
+        let mut ev = SyscallEvent::new(SyscallArgs::nullary(39));
+        assert_eq!(dispatch_global(&mut ev), Action::Passthrough);
+    }
+}

@@ -1,0 +1,92 @@
+//! Argument-rewriting interposition.
+//!
+//! Exercises the mutation capability the kernel interfaces advertise
+//! (paper §II-A, ptrace: "inspect and modify the syscall number,
+//! arguments, and return value") on the userspace fast path.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use crate::{Action, SyscallEvent, SyscallHandler};
+use syscalls::nr;
+
+/// Redirects I/O syscalls aimed at one fd to another fd.
+///
+/// The canonical demo: silence a chatty program by redirecting its
+/// stdout writes to `/dev/null`, or tee them to a log fd — without the
+/// program's cooperation.
+#[derive(Debug)]
+pub struct FdRedirectHandler {
+    from: AtomicI64,
+    to: AtomicI64,
+}
+
+impl FdRedirectHandler {
+    /// Redirects `from` → `to` for `write`, `writev`, `pwrite64`,
+    /// `sendto` and `fsync`.
+    pub fn new(from: i32, to: i32) -> FdRedirectHandler {
+        FdRedirectHandler {
+            from: AtomicI64::new(from as i64),
+            to: AtomicI64::new(to as i64),
+        }
+    }
+
+    /// Changes the mapping at runtime.
+    pub fn retarget(&self, from: i32, to: i32) {
+        self.from.store(from as i64, Ordering::SeqCst);
+        self.to.store(to as i64, Ordering::SeqCst);
+    }
+}
+
+impl SyscallHandler for FdRedirectHandler {
+    fn handle(&self, event: &mut SyscallEvent) -> Action {
+        let affected = matches!(
+            event.call.nr,
+            nr::WRITE | nr::WRITEV | nr::PWRITE64 | nr::SENDTO | nr::FSYNC
+        );
+        if affected && event.call.args[0] as i64 == self.from.load(Ordering::Relaxed) {
+            event.call.args[0] = self.to.load(Ordering::Relaxed) as u64;
+        }
+        Action::Passthrough
+    }
+
+    fn name(&self) -> &str {
+        "fd-redirect"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syscalls::SyscallArgs;
+
+    #[test]
+    fn rewrites_matching_fd() {
+        let h = FdRedirectHandler::new(1, 9);
+        let mut ev = SyscallEvent::new(SyscallArgs::new(nr::WRITE, [1, 0xabc, 3, 0, 0, 0]));
+        assert_eq!(h.handle(&mut ev), Action::Passthrough);
+        assert_eq!(ev.call.args[0], 9);
+        // Buffer/len untouched.
+        assert_eq!(ev.call.args[1], 0xabc);
+        assert_eq!(ev.call.args[2], 3);
+    }
+
+    #[test]
+    fn leaves_other_fds_and_syscalls() {
+        let h = FdRedirectHandler::new(1, 9);
+        let mut other_fd = SyscallEvent::new(SyscallArgs::new(nr::WRITE, [2, 0, 0, 0, 0, 0]));
+        h.handle(&mut other_fd);
+        assert_eq!(other_fd.call.args[0], 2);
+        let mut read = SyscallEvent::new(SyscallArgs::new(nr::READ, [1, 0, 0, 0, 0, 0]));
+        h.handle(&mut read);
+        assert_eq!(read.call.args[0], 1);
+    }
+
+    #[test]
+    fn retarget_takes_effect() {
+        let h = FdRedirectHandler::new(1, 9);
+        h.retarget(2, 5);
+        let mut ev = SyscallEvent::new(SyscallArgs::new(nr::WRITE, [2, 0, 0, 0, 0, 0]));
+        h.handle(&mut ev);
+        assert_eq!(ev.call.args[0], 5);
+    }
+}

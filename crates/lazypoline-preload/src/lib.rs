@@ -1,0 +1,133 @@
+//! `LD_PRELOAD` shim: arm lazypoline inside *arbitrary, unmodified*
+//! binaries — the paper's deployment model ("non-intrusive").
+//!
+//! ```sh
+//! cargo build -p lazypoline-preload --release
+//! LAZYPOLINE_MODE=count LAZYPOLINE_STATS=1 \
+//!   LD_PRELOAD=target/release/liblazypoline_preload.so  ls -l
+//! ```
+//!
+//! Environment knobs:
+//!
+//! | Variable | Values | Effect |
+//! |---|---|---|
+//! | `LAZYPOLINE_MODE` | `passthrough` (default), `trace`, `count` | interposer choice |
+//! | `LAZYPOLINE_XSTATE` | `avx` (default), `sse`, `x87`, `none` | extended-state preservation (paper §IV-B(b)) |
+//! | `LAZYPOLINE_STATS` | `1` | dump engine counters at exit |
+//!
+//! The constructor runs from `.init_array` before `main`, so every
+//! syscall the application itself makes is interposed. Syscalls made
+//! by the dynamic loader *before* our constructor are inherently out of
+//! reach — the same holds for the C prototype.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use interpose::{CountHandler, PassthroughHandler, SyscallHandler, TraceHandler, TraceSink};
+use lazypoline::{Config, XstateMask};
+
+static COUNTER: AtomicPtr<CountHandler> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Private dup of stderr taken at init: programs like coreutils close
+/// fd 2 in their own atexit handlers, which run *before* ours (LIFO),
+/// so stats must go to a descriptor the application cannot reach.
+static STATS_FD: std::sync::atomic::AtomicI32 = std::sync::atomic::AtomicI32::new(2);
+
+/// The constructor entry registered in `.init_array`.
+///
+/// # Safety
+///
+/// Called once by the dynamic loader during process startup.
+unsafe extern "C" fn preload_ctor() {
+    let mode = std::env::var("LAZYPOLINE_MODE").unwrap_or_default();
+    let xstate = match std::env::var("LAZYPOLINE_XSTATE").as_deref() {
+        Ok("none") => XstateMask::None,
+        Ok("x87") => XstateMask::X87,
+        Ok("sse") => XstateMask::Sse,
+        _ => XstateMask::Avx,
+    };
+
+    let handler: Box<dyn SyscallHandler> = match mode.as_str() {
+        "trace" => Box::new(TraceHandler::with_sink(TraceSink::Stderr)),
+        "count" => {
+            let leaked: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
+            COUNTER.store(leaked as *const _ as *mut _, Ordering::SeqCst);
+            struct Fwd(&'static CountHandler);
+            impl SyscallHandler for Fwd {
+                fn handle(&self, ev: &mut interpose::SyscallEvent) -> interpose::Action {
+                    self.0.handle(ev)
+                }
+                fn name(&self) -> &str {
+                    "count"
+                }
+            }
+            Box::new(Fwd(leaked))
+        }
+        _ => Box::new(PassthroughHandler),
+    };
+    interpose::set_global_handler(handler);
+
+    let config = Config {
+        xstate,
+        ..Config::default()
+    };
+    match lazypoline::init(config) {
+        Ok(engine) => {
+            // The engine must outlive main; prevent the drop-unenroll.
+            std::mem::forget(engine);
+            if std::env::var("LAZYPOLINE_STATS").as_deref() == Ok("1") {
+                let fd = libc::fcntl(2, libc::F_DUPFD_CLOEXEC, 700);
+                if fd >= 0 {
+                    STATS_FD.store(fd, Ordering::SeqCst);
+                }
+                libc::atexit(dump_stats);
+            }
+        }
+        Err(e) => {
+            eprintln!("lazypoline-preload: disabled ({e})");
+        }
+    }
+}
+
+extern "C" fn dump_stats() {
+    let fd = STATS_FD.load(Ordering::SeqCst);
+    let mut out = String::new();
+    let s = lazypoline::stats();
+    out.push_str("-- lazypoline stats --\n");
+    out.push_str(&format!("slow-path (SIGSYS) trips : {}\n", s.slow_path_hits));
+    out.push_str(&format!("sites lazily rewritten   : {}\n", s.sites_patched));
+    out.push_str(&format!("dispatcher invocations   : {}\n", s.dispatches));
+    out.push_str(&format!("unpatchable emulations   : {}\n", s.unpatchable_emulations));
+    out.push_str(&format!("signals wrapped          : {}\n", s.signals_wrapped));
+    let counter = COUNTER.load(Ordering::SeqCst);
+    if !counter.is_null() {
+        out.push_str("-- top syscalls --\n");
+        // SAFETY: set once from a leaked box.
+        for (nr, count) in unsafe { &*counter }.top().into_iter().take(15) {
+            out.push_str(&format!(
+                "{:>10}  {}\n",
+                count,
+                syscalls::nr::name(nr).unwrap_or("?")
+            ));
+        }
+    }
+    // SAFETY: writing an owned buffer to our private fd.
+    unsafe {
+        libc::write(fd, out.as_ptr() as *const libc::c_void, out.len());
+    }
+}
+
+#[used]
+#[link_section = ".init_array"]
+static PRELOAD_CTOR: unsafe extern "C" fn() = preload_ctor;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctor_is_registered() {
+        // The static must survive to link time with the right type.
+        let f: unsafe extern "C" fn() = PRELOAD_CTOR;
+        assert_eq!(f as usize, preload_ctor as usize);
+    }
+}

@@ -1,0 +1,37 @@
+//! Engine-wide event counters (exposed via [`crate::Stats`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slow-path (`SIGSYS`) deliveries.
+pub(crate) static SLOW_PATH_HITS: AtomicU64 = AtomicU64::new(0);
+/// Syscall sites rewritten to `call rax`.
+pub(crate) static SITES_PATCHED: AtomicU64 = AtomicU64::new(0);
+/// Syscalls that reached the dispatcher (fast path + re-executed slow
+/// path + emulated-unpatchable).
+pub(crate) static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+/// Syscalls emulated directly in the SIGSYS handler because the site
+/// could not be patched.
+pub(crate) static UNPATCHABLE_EMULATIONS: AtomicU64 = AtomicU64::new(0);
+/// Application signal-handler invocations routed through the wrapper.
+pub(crate) static SIGNALS_WRAPPED: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn get(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        static C: AtomicU64 = AtomicU64::new(0);
+        bump(&C);
+        bump(&C);
+        assert_eq!(get(&C), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Engine assembly: wires the trampoline, dispatcher, SIGSYS handler,
+//! signal adoption, and per-thread enrollment together.
+
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use zpoline::{Trampoline, XstateMask};
+
+use crate::counters;
+use crate::{fastpath, signals, slowpath, tls};
+
+/// Configuration for [`init`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Which extended-state components the fast path preserves around
+    /// the handler (paper §IV-B(b); Table II benchmarks both
+    /// `Avx` — full preservation, the default — and `None`).
+    pub xstate: XstateMask,
+    /// Re-route signal handlers registered *before* initialization
+    /// through the wrapper protocol (recommended; see §IV-B(c)).
+    pub adopt_existing_signal_handlers: bool,
+    /// Enable the lazy rewriting fast path (default). Disabling turns
+    /// the engine into a pure SUD interposer: every intercepted
+    /// syscall takes the SIGSYS slow path and is emulated in the
+    /// handler — the "SUD" baseline of Table II and Figure 5, and the
+    /// ablation isolating the paper's core contribution.
+    pub lazy_rewriting: bool,
+    /// Statically pre-scan and rewrite the executable regions whose
+    /// path satisfies common safety filters before enabling SUD. This
+    /// makes the very first executions of known sites take the fast
+    /// path (zpoline-style priming); purely an optimization — the slow
+    /// path catches everything regardless. Off by default because
+    /// static disassembly is heuristic (§II-B).
+    pub static_prescan: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            xstate: XstateMask::Avx,
+            adopt_existing_signal_handlers: true,
+            lazy_rewriting: true,
+            static_prescan: false,
+        }
+    }
+}
+
+/// Why [`init`] failed. The process is left un-interposed but otherwise
+/// intact when any of these is returned.
+#[derive(Debug)]
+pub enum InitError {
+    /// Page zero could not be mapped (usually `vm.mmap_min_addr > 0`).
+    Trampoline(io::Error),
+    /// `prctl(PR_SET_SYSCALL_USER_DISPATCH)` failed (kernel < 5.11 or
+    /// seccomp-filtered).
+    Sud(io::Error),
+    /// Installing the `SIGSYS` disposition failed.
+    Sigaction(io::Error),
+}
+
+impl fmt::Display for InitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InitError::Trampoline(e) => write!(f, "trampoline install failed: {e}"),
+            InitError::Sud(e) => write!(f, "syscall user dispatch unavailable: {e}"),
+            InitError::Sigaction(e) => write!(f, "SIGSYS handler install failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InitError {}
+
+/// Event counters since initialization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// `SIGSYS` deliveries (slow-path trips).
+    pub slow_path_hits: u64,
+    /// Syscall sites rewritten to `call rax`.
+    pub sites_patched: u64,
+    /// Syscalls that reached the dispatcher.
+    pub dispatches: u64,
+    /// Syscalls emulated in the handler because patching failed.
+    pub unpatchable_emulations: u64,
+    /// Application signal deliveries routed through the wrapper.
+    pub signals_wrapped: u64,
+}
+
+static INITIALIZED: AtomicBool = AtomicBool::new(false);
+
+/// Handle to the initialized engine.
+///
+/// Engine state is process-global and permanent (rewritten sites
+/// cannot be un-rewritten); the handle governs only the calling
+/// thread's enrollment. Dropping it un-enrolls the current thread.
+#[derive(Debug)]
+pub struct Engine {
+    _private: (),
+}
+
+/// Initializes hybrid interposition and enrolls the calling thread.
+///
+/// Idempotent for the process-global parts; a second call on another
+/// thread simply enrolls that thread.
+///
+/// # Errors
+///
+/// See [`InitError`]. On error nothing irreversible has happened —
+/// specifically, SUD is not left enabled.
+///
+/// # Examples
+///
+/// ```no_run
+/// let engine = lazypoline::init(lazypoline::Config::default())?;
+/// assert!(engine.is_enrolled());
+/// # Ok::<(), lazypoline::InitError>(())
+/// ```
+pub fn init(config: Config) -> Result<Engine, InitError> {
+    crate::slowpath::LAZY_REWRITING.store(config.lazy_rewriting, Ordering::SeqCst);
+    if !INITIALIZED.load(Ordering::SeqCst) {
+        zpoline::set_xstate_mask(config.xstate);
+        Trampoline::install().map_err(InitError::Trampoline)?;
+        zpoline::set_dispatcher(fastpath::lazypoline_dispatch);
+
+        unsafe {
+            if config.adopt_existing_signal_handlers {
+                signals::adopt_existing_handlers();
+            }
+            sud::sigsys::install_sigsys_handler(slowpath::sigsys_handler)
+                .map_err(InitError::Sigaction)?;
+        }
+
+        if config.static_prescan {
+            // Prime the obvious regions; errors are non-fatal (the slow
+            // path remains exhaustive).
+            let _ = unsafe {
+                zpoline::rewrite_process(|r| {
+                    r.path.contains("libc") || r.path.ends_with(&current_exe_name())
+                })
+            };
+        }
+
+        INITIALIZED.store(true, Ordering::SeqCst);
+    } else {
+        // Re-initialization may still adjust the xstate policy.
+        zpoline::set_xstate_mask(config.xstate);
+    }
+
+    let engine = Engine { _private: () };
+    engine.enroll_current_thread().map_err(InitError::Sud)?;
+    Ok(engine)
+}
+
+fn current_exe_name() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_name().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_default()
+}
+
+impl Engine {
+    /// Enrolls the calling thread: enables SUD with this thread's
+    /// selector byte and arms it (selector = BLOCK).
+    ///
+    /// # Errors
+    ///
+    /// Returns the `prctl` failure; the thread is left un-enrolled.
+    pub fn enroll_current_thread(&self) -> io::Result<()> {
+        tls::set_enrolled(true);
+        match sud::enable_thread() {
+            Ok(()) => {
+                sud::set_selector(sud::Dispatch::Block);
+                Ok(())
+            }
+            Err(e) => {
+                tls::set_enrolled(false);
+                Err(e)
+            }
+        }
+    }
+
+    /// Un-enrolls the calling thread: new syscall sites on this thread
+    /// stop being discovered. Already-rewritten sites still dispatch.
+    pub fn unenroll_current_thread(&self) {
+        tls::set_enrolled(false);
+        sud::set_selector(sud::Dispatch::Allow);
+        let _ = sud::disable_thread();
+    }
+
+    /// Whether the calling thread is currently enrolled.
+    pub fn is_enrolled(&self) -> bool {
+        tls::enrolled()
+    }
+
+    /// Whether the process-global machinery is live.
+    pub fn is_initialized() -> bool {
+        INITIALIZED.load(Ordering::SeqCst)
+    }
+
+    /// Engine-wide event counters.
+    pub fn stats(&self) -> Stats {
+        stats()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if tls::enrolled() {
+            self.unenroll_current_thread();
+        }
+    }
+}
+
+/// Engine-wide event counters (also available without a handle — e.g.
+/// from benchmark reporting code).
+pub fn stats() -> Stats {
+    Stats {
+        slow_path_hits: counters::get(&counters::SLOW_PATH_HITS),
+        sites_patched: counters::get(&counters::SITES_PATCHED),
+        dispatches: counters::get(&counters::DISPATCHES),
+        unpatchable_emulations: counters::get(&counters::UNPATCHABLE_EMULATIONS),
+        signals_wrapped: counters::get(&counters::SIGNALS_WRAPPED),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_full_preservation() {
+        let c = Config::default();
+        assert_eq!(c.xstate, XstateMask::Avx);
+        assert!(c.adopt_existing_signal_handlers);
+        assert!(c.lazy_rewriting);
+        assert!(!c.static_prescan);
+    }
+
+    #[test]
+    fn init_error_display() {
+        let e = InitError::Sud(io::Error::from_raw_os_error(libc::EINVAL));
+        assert!(e.to_string().contains("dispatch unavailable"));
+    }
+
+    // End-to-end engine tests live in the workspace `tests/` directory
+    // and run in subprocesses: initialization permanently rewrites
+    // code in the test runner image, which must not leak into sibling
+    // unit tests.
+}

@@ -1,0 +1,224 @@
+//! The dispatcher: one shared syscall-handling implementation for both
+//! the fast path (trampoline) and the slow path (SIGSYS emulation
+//! fallback), exactly as the paper motivates in §IV-A(c).
+
+use interpose::{Action, SyscallEvent};
+use sud::Dispatch;
+use syscalls::{nr, Errno, SyscallArgs};
+use zpoline::RawFrame;
+
+use crate::counters::{self, DISPATCHES};
+use crate::{clone, raw_internal, signals, tls};
+
+/// Byte offset from the `RawFrame` pointer to the application's `rsp`
+/// at the moment the (rewritten) syscall instruction executed.
+///
+/// Derived from the trampoline stub's stack layout: the stub enters
+/// with `rsp = E` (app rsp after the `call rax` push, i.e. app rsp at
+/// the syscall minus 8) and builds the frame at `E - 208`.
+pub(crate) const FRAME_TO_APP_RSP: usize = 216;
+
+/// The dispatcher registered with the zpoline trampoline.
+///
+/// Protocol (paper §IV-A): flip the selector to ALLOW so the
+/// interposer's own syscalls bypass SUD, run the shared handler, then
+/// restore BLOCK if this thread is enrolled. Entered either directly
+/// from application code via a rewritten site (selector was BLOCK) or
+/// from the slow path's re-execution (selector already ALLOW) — the
+/// exit rule is the same for both, which is what makes selector-only
+/// SUD work.
+pub(crate) unsafe extern "C" fn lazypoline_dispatch(frame: *mut RawFrame) -> u64 {
+    counters::bump(&DISPATCHES);
+    sud::set_selector(Dispatch::Allow);
+
+    let frame = &mut *frame;
+
+    // rt_sigreturn must take its special path even when re-entered
+    // (the wrapper's own return travels through here while the
+    // dispatch guard is set).
+    if frame.nr == nr::RT_SIGRETURN {
+        do_rt_sigreturn(frame);
+    }
+
+    if tls::in_dispatch() {
+        // A handler re-entered the dispatcher (e.g. through a patched
+        // libc call inside the handler). Execute raw — the outer
+        // dispatch restores the selector on its own exit.
+        return raw_internal::syscall(frame.syscall_args());
+    }
+
+    let was = tls::set_in_dispatch(true);
+    let ret = handle_syscall(frame, true);
+    tls::set_in_dispatch(was);
+
+    if tls::enrolled() {
+        sud::set_selector(Dispatch::Block);
+    }
+    ret
+}
+
+/// Shared syscall handling: notify the global handler, then execute
+/// (with special handling for the process-control syscalls the paper
+/// calls out: `rt_sigreturn`, `rt_sigaction`, `clone`, `fork`,
+/// `vfork`, plus `rt_sigprocmask` to keep `SIGSYS` deliverable).
+///
+/// # Safety
+///
+/// `frame` must describe a syscall invocation from this thread, and
+/// the selector must be ALLOW.
+pub(crate) unsafe fn handle_syscall(frame: &mut RawFrame, notify: bool) -> u64 {
+    let mut post_event = None;
+    if notify {
+        let mut ev = SyscallEvent::with_site(frame.syscall_args(), frame.ret_addr as usize);
+        match interpose::dispatch_global(&mut ev) {
+            Action::Passthrough => {
+                // The handler may have rewritten number/arguments.
+                frame.nr = ev.call.nr;
+                frame.a1 = ev.call.args[0];
+                frame.a2 = ev.call.args[1];
+                frame.a3 = ev.call.args[2];
+                frame.a4 = ev.call.args[3];
+                frame.a5 = ev.call.args[4];
+                frame.a6 = ev.call.args[5];
+                post_event = Some(ev);
+            }
+            Action::Return(v) => return v,
+            Action::Fail(e) => return e.as_ret(),
+        }
+    }
+
+    let ret = match frame.nr {
+        nr::RT_SIGRETURN => do_rt_sigreturn(frame),
+        nr::RT_SIGACTION => signals::handle_sigaction(frame),
+        nr::RT_SIGPROCMASK => handle_sigprocmask(frame),
+        nr::CLONE => clone::handle_clone(frame),
+        // Refusing clone3 makes glibc fall back to clone, which we can
+        // interpose faithfully (same approach as the C prototype and
+        // other interposers).
+        nr::CLONE3 => Errno::ENOSYS.as_ret(),
+        nr::FORK | nr::VFORK => clone::handle_fork(frame),
+        _ => raw_internal::syscall(frame.syscall_args()),
+    };
+    match post_event {
+        // Result observation/rewriting (paper §II-A's ptrace
+        // capability, here on the fast path). Skipped for clone-like
+        // calls whose child resumed elsewhere: for those the dispatcher
+        // frame only ever returns in the parent.
+        Some(ev) => interpose::post_global(&ev, ret),
+        None => ret,
+    }
+}
+
+/// `rt_sigreturn` cannot be issued from dispatcher context directly:
+/// the kernel reads the signal frame at the *current* `rsp`. Restore
+/// the application's `rsp` (where the frame lives) and issue the
+/// syscall there, with the selector at ALLOW so the instruction is
+/// never itself dispatched (paper Fig. 3 step ③). Control continues at
+/// whatever context the signal frame describes — typically the
+/// sigreturn trampoline installed by the signal wrapper, which
+/// re-establishes the selector (step ④).
+unsafe fn do_rt_sigreturn(frame: &mut RawFrame) -> ! {
+    sud::set_selector(Dispatch::Allow);
+    let frame_rsp = (frame as *mut RawFrame as usize + FRAME_TO_APP_RSP) as u64;
+    core::arch::asm!(
+        "mov rsp, {0}",
+        "mov eax, 15", // rt_sigreturn
+        "syscall",
+        "ud2",
+        in(reg) frame_rsp,
+        options(noreturn),
+    );
+}
+
+/// Keeps `SIGSYS` unblockable: without the slow-path signal, a fresh
+/// syscall site executed while `SIGSYS` is masked would kill the
+/// process (force_sig semantics) or stall interposition.
+unsafe fn handle_sigprocmask(frame: &mut RawFrame) -> u64 {
+    const SIG_BLOCK: u64 = 0;
+    const SIG_SETMASK: u64 = 2;
+    let how = frame.a1;
+    let set = frame.a2 as *const u64;
+    if !set.is_null() && (how == SIG_BLOCK || how == SIG_SETMASK) && frame.a4 == 8 {
+        let mut mask = set.read();
+        mask &= !(1u64 << (libc::SIGSYS - 1));
+        let patched = SyscallArgs::new(
+            nr::RT_SIGPROCMASK,
+            [how, &mask as *const u64 as u64, frame.a3, 8, 0, 0],
+        );
+        return raw_internal::syscall(patched);
+    }
+    raw_internal::syscall(frame.syscall_args())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_frame(nr: u64, args: [u64; 6]) -> RawFrame {
+        RawFrame {
+            nr,
+            a1: args[0],
+            a2: args[1],
+            a3: args[2],
+            a4: args[3],
+            a5: args[4],
+            a6: args[5],
+            saved_rbx: 0,
+            saved_rbp: 0,
+            ret_addr: 0,
+        }
+    }
+
+    #[test]
+    fn plain_syscall_passes_through() {
+        let mut f = mk_frame(nr::GETPID, [0; 6]);
+        let ret = unsafe { handle_syscall(&mut f, true) };
+        assert_eq!(ret, std::process::id() as u64);
+    }
+
+    #[test]
+    fn clone3_is_refused() {
+        let mut f = mk_frame(nr::CLONE3, [0; 6]);
+        let ret = unsafe { handle_syscall(&mut f, true) };
+        assert_eq!(Errno::from_ret(ret), Some(Errno::ENOSYS));
+    }
+
+    #[test]
+    fn sigprocmask_cannot_block_sigsys() {
+        unsafe {
+            let sigsys_bit = 1u64 << (libc::SIGSYS - 1);
+            let want: u64 = sigsys_bit | (1 << (libc::SIGUSR1 - 1));
+            let mut f = mk_frame(
+                nr::RT_SIGPROCMASK,
+                [0 /*SIG_BLOCK*/, &want as *const u64 as u64, 0, 8, 0, 0],
+            );
+            assert_eq!(handle_syscall(&mut f, true), 0);
+            // Read back the mask: SIGUSR1 blocked, SIGSYS not.
+            let mut cur: u64 = 0;
+            let q = mk_frame(
+                nr::RT_SIGPROCMASK,
+                [0, 0, &mut cur as *mut u64 as u64, 8, 0, 0],
+            );
+            let mut q = q;
+            assert_eq!(handle_syscall(&mut q, true), 0);
+            assert_ne!(cur & (1 << (libc::SIGUSR1 - 1)), 0);
+            assert_eq!(cur & sigsys_bit, 0);
+            // Restore.
+            let none: u64 = 0;
+            let mut r = mk_frame(
+                nr::RT_SIGPROCMASK,
+                [2 /*SETMASK*/, &none as *const u64 as u64, 0, 8, 0, 0],
+            );
+            handle_syscall(&mut r, true);
+        }
+    }
+
+    #[test]
+    fn frame_rsp_offset_matches_stub_layout() {
+        // 10 frame qwords (80) + xsave anchor conventions: the stub
+        // builds the frame 208 below its entry rsp, and the app rsp at
+        // the call site is entry+8.
+        assert_eq!(FRAME_TO_APP_RSP, 216);
+        assert_eq!(std::mem::size_of::<RawFrame>(), 80);
+    }
+}

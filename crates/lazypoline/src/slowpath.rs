@@ -1,0 +1,136 @@
+//! The SUD slow path: the `SIGSYS` handler that performs lazy rewriting
+//! (paper §IV-A).
+//!
+//! On every dispatch the handler:
+//!
+//! 1. sets the selector to ALLOW (its own syscalls must not recurse),
+//! 2. rewrites the faulting `syscall` instruction to `call rax`
+//!    ([`zpoline::patch_syscall_site`], under the rewrite spinlock),
+//! 3. rewinds the interrupted `rip` to the *rewritten* instruction and
+//!    sigreturns with the selector still at ALLOW ("selector-only
+//!    SUD"). Re-execution enters the fast path, which handles the
+//!    syscall and re-arms the selector on exit — giving the paper's
+//!    single shared handling implementation for both paths.
+//!
+//! If the site cannot be patched (e.g. unwritable special mapping), the
+//! syscall is emulated right here through the same shared
+//! [`crate::fastpath::handle_syscall`] logic, and the selector is
+//! re-armed through the sigreturn trampoline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use sud::sigsys::{SigsysInfo, UContext};
+use sud::Dispatch;
+use zpoline::RawFrame;
+
+use crate::counters::{self, SITES_PATCHED, SLOW_PATH_HITS, UNPATCHABLE_EMULATIONS};
+use crate::{fastpath, signals, tls};
+
+/// When false, the slow path never rewrites: every dispatched syscall
+/// is emulated in the handler, which turns the engine into a pure
+/// SUD interposer — the configuration Table II's "SUD" row measures,
+/// and an ablation of the paper's central design choice.
+pub(crate) static LAZY_REWRITING: AtomicBool = AtomicBool::new(true);
+
+/// The process-wide `SIGSYS` handler.
+///
+/// # Safety
+///
+/// Installed via `sigaction` with `SA_SIGINFO`; only the kernel calls
+/// it.
+pub(crate) unsafe extern "C" fn sigsys_handler(
+    sig: libc::c_int,
+    info: *mut libc::siginfo_t,
+    ctx: *mut libc::c_void,
+) {
+    let si = SigsysInfo::from_siginfo(info);
+    if si.code != sud::SYS_USER_DISPATCH {
+        // A genuine SIGSYS (e.g. seccomp): forward to the application's
+        // recorded handler, if any.
+        forward_foreign_sigsys(sig, info, ctx);
+        return;
+    }
+
+    counters::bump(&SLOW_PATH_HITS);
+    sud::set_selector(Dispatch::Allow);
+
+    let mut uc = UContext::from_ptr(ctx);
+    let insn = si.syscall_insn_addr();
+
+    let patch_result = if LAZY_REWRITING.load(Ordering::Relaxed) {
+        zpoline::patch_syscall_site(insn)
+    } else {
+        Err(zpoline::PatchError::TrampolineMissing)
+    };
+    match patch_result {
+        Ok(zpoline::PatchOutcome::Patched) => {
+            counters::bump(&SITES_PATCHED);
+            uc.set_rip(insn as u64);
+        }
+        Ok(zpoline::PatchOutcome::AlreadyPatched) => {
+            // Another thread raced us; re-execute through the fast path
+            // all the same.
+            uc.set_rip(insn as u64);
+        }
+        Err(_) => {
+            // Unpatchable site: emulate the syscall here through the
+            // shared dispatcher logic (paper §IV-A(c): one handling
+            // implementation), then re-arm the selector via the
+            // sigreturn trampoline.
+            counters::bump(&UNPATCHABLE_EMULATIONS);
+            let args = uc.syscall_args();
+            let mut frame = RawFrame {
+                nr: args.nr,
+                a1: args.args[0],
+                a2: args.args[1],
+                a3: args.args[2],
+                a4: args.args[3],
+                a5: args.args[4],
+                a6: args.args[5],
+                saved_rbx: 0,
+                saved_rbp: 0,
+                ret_addr: uc.rip(),
+            };
+            let was = tls::set_in_dispatch(true);
+            let ret = fastpath::handle_syscall(&mut frame, true);
+            tls::set_in_dispatch(was);
+            uc.set_rax(ret);
+            let restore = if tls::enrolled() {
+                Dispatch::Block
+            } else {
+                Dispatch::Allow
+            };
+            if tls::push_sigreturn(restore.as_byte(), uc.rip()) {
+                uc.set_rip(signals::lp_sigreturn_tramp as *const () as usize as u64);
+            }
+            // On overflow: resume directly with ALLOW; interposition of
+            // new sites on this thread pauses until the next wrapped
+            // event — safe degradation.
+        }
+    }
+    // Return with the selector at ALLOW; the kernel's sigreturn cannot
+    // recurse, and the fast path re-arms BLOCK on its way out.
+}
+
+/// Delivers a non-SUD `SIGSYS` to the application handler recorded in
+/// the signal table (the app may legitimately use seccomp + SIGSYS).
+unsafe fn forward_foreign_sigsys(
+    sig: libc::c_int,
+    info: *mut libc::siginfo_t,
+    ctx: *mut libc::c_void,
+) {
+    if let Some(act) = signals::app_action(sig) {
+        match act.handler {
+            signals::SIG_DFL | signals::SIG_IGN => {}
+            h if act.flags & libc::SA_SIGINFO as u64 != 0 => {
+                let f: extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void) =
+                    std::mem::transmute(h as usize);
+                f(sig, info, ctx);
+            }
+            h => {
+                let f: extern "C" fn(libc::c_int) = std::mem::transmute(h as usize);
+                f(sig);
+            }
+        }
+    }
+}

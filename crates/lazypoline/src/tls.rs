@@ -1,0 +1,174 @@
+//! Per-thread interposition state.
+//!
+//! The paper keeps per-task state in `%gs`-relative memory regions
+//! (§IV-B(a)); this reproduction uses Rust thread-locals, which are
+//! `%fs`-relative on x86-64 and satisfy the same requirement: per-task
+//! storage addressable without spilling application registers. All
+//! thread-locals here are `const`-initialized, so accesses compile to
+//! plain TLS loads with no lazy-initialization branch — safe from
+//! signal handlers and from the dispatcher.
+
+use std::cell::{Cell, UnsafeCell};
+
+/// Maximum depth of nested signal deliveries whose selector state we
+/// can track. 64 nested signals on one thread would already mean a
+/// runaway handler.
+pub(crate) const SIGRETURN_STACK_DEPTH: usize = 64;
+
+/// One saved `(selector, resume rip)` pair — pushed when a wrapped
+/// application signal handler is entered, popped by the sigreturn
+/// trampoline (paper Fig. 3 steps ① and ④).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
+pub(crate) struct SigreturnEntry {
+    /// Raw selector byte to restore (widened for alignment).
+    pub selector: u64,
+    /// Where the application should resume.
+    pub rip: u64,
+}
+
+#[repr(C)]
+pub(crate) struct SigreturnStack {
+    pub idx: usize,
+    pub entries: [SigreturnEntry; SIGRETURN_STACK_DEPTH],
+}
+
+thread_local! {
+    /// Whether this thread asked for interposition (drives the
+    /// selector value the dispatcher restores on exit).
+    static ENROLLED: Cell<bool> = const { Cell::new(false) };
+
+    /// Re-entrancy guard: set while the dispatcher runs handler code,
+    /// cleared across application signal-handler invocations (which
+    /// must be interposed normally).
+    static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+
+    /// The per-thread sigreturn stack (paper §IV-B(c)).
+    static SRSTACK: UnsafeCell<SigreturnStack> = const {
+        UnsafeCell::new(SigreturnStack {
+            idx: 0,
+            entries: [SigreturnEntry { selector: 0, rip: 0 }; SIGRETURN_STACK_DEPTH],
+        })
+    };
+}
+
+pub(crate) fn enrolled() -> bool {
+    ENROLLED.with(|c| c.get())
+}
+
+pub(crate) fn set_enrolled(v: bool) {
+    ENROLLED.with(|c| c.set(v));
+}
+
+pub(crate) fn in_dispatch() -> bool {
+    IN_DISPATCH.with(|c| c.get())
+}
+
+pub(crate) fn set_in_dispatch(v: bool) -> bool {
+    IN_DISPATCH.with(|c| c.replace(v))
+}
+
+/// Pushes a `(selector, rip)` pair for the sigreturn trampoline.
+///
+/// Returns `false` on overflow (the caller then falls back to leaving
+/// the selector at BLOCK, which is safe: at worst one extra slow-path
+/// round trip).
+pub(crate) fn push_sigreturn(selector: u8, rip: u64) -> bool {
+    SRSTACK.with(|s| {
+        // SAFETY: single-threaded access (TLS); signal nesting is
+        // strictly stack-like on one thread.
+        let st = unsafe { &mut *s.get() };
+        if st.idx >= SIGRETURN_STACK_DEPTH {
+            return false;
+        }
+        st.entries[st.idx] = SigreturnEntry {
+            selector: selector as u64,
+            rip,
+        };
+        st.idx += 1;
+        true
+    })
+}
+
+/// Pops the most recent `(selector, rip)` pair; `None` when empty.
+pub(crate) fn pop_sigreturn() -> Option<SigreturnEntry> {
+    SRSTACK.with(|s| {
+        let st = unsafe { &mut *s.get() };
+        if st.idx == 0 {
+            return None;
+        }
+        st.idx -= 1;
+        Some(st.entries[st.idx])
+    })
+}
+
+/// Current sigreturn-stack depth (for tests and stats).
+#[cfg(test)]
+pub(crate) fn sigreturn_depth() -> usize {
+    SRSTACK.with(|s| unsafe { &*s.get() }.idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enrollment_flag_roundtrip() {
+        assert!(!enrolled());
+        set_enrolled(true);
+        assert!(enrolled());
+        set_enrolled(false);
+    }
+
+    #[test]
+    fn dispatch_guard_replace_semantics() {
+        assert!(!in_dispatch());
+        assert!(!set_in_dispatch(true));
+        assert!(in_dispatch());
+        assert!(set_in_dispatch(false));
+        assert!(!in_dispatch());
+    }
+
+    #[test]
+    fn sigreturn_stack_lifo() {
+        assert_eq!(pop_sigreturn(), None);
+        assert!(push_sigreturn(1, 0x1000));
+        assert!(push_sigreturn(0, 0x2000));
+        assert_eq!(sigreturn_depth(), 2);
+        assert_eq!(
+            pop_sigreturn(),
+            Some(SigreturnEntry {
+                selector: 0,
+                rip: 0x2000
+            })
+        );
+        assert_eq!(
+            pop_sigreturn(),
+            Some(SigreturnEntry {
+                selector: 1,
+                rip: 0x1000
+            })
+        );
+        assert_eq!(pop_sigreturn(), None);
+    }
+
+    #[test]
+    fn sigreturn_stack_overflow_is_reported() {
+        for i in 0..SIGRETURN_STACK_DEPTH {
+            assert!(push_sigreturn(0, i as u64));
+        }
+        assert!(!push_sigreturn(0, 999));
+        for _ in 0..SIGRETURN_STACK_DEPTH {
+            assert!(pop_sigreturn().is_some());
+        }
+        assert_eq!(pop_sigreturn(), None);
+    }
+
+    #[test]
+    fn tls_is_per_thread() {
+        set_enrolled(true);
+        let other = std::thread::spawn(enrolled).join().unwrap();
+        assert!(!other);
+        set_enrolled(false);
+    }
+}

@@ -1,0 +1,98 @@
+//! Kernel-side cycle costs.
+//!
+//! Calibration targets the *ratios* of the paper's Table II (see
+//! EXPERIMENTS.md): with the default user-mode costs of
+//! [`sim_cpu::CostModel`], a bare `ENOSYS` round trip costs
+//! `entry + dispatch + exit = 280` cycles, and:
+//!
+//! * enabling SUD adds the per-syscall selector read (`sud_check`),
+//!   giving the paper's "baseline with SUD enabled" 1.42×;
+//! * a full SUD dispatch adds `signal_deliver` + handler execution +
+//!   `sigreturn`, landing near the paper's 20.8×;
+//! * a zpoline trampoline pass is pure guest code (~1.2×), and the
+//!   lazypoline fast path adds `sud_check` (≈1.66×) and, with
+//!   extended-state preservation, the guest `xsave`/`xrstor` pair
+//!   (≈2.38×).
+
+/// Cycle charges for kernel-side work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelCost {
+    /// Mode switch into the kernel.
+    pub entry: u64,
+    /// Mode switch back to user.
+    pub exit: u64,
+    /// In-kernel syscall-table dispatch and minimal service work.
+    pub dispatch: u64,
+    /// SUD: reading the userspace selector byte and range check —
+    /// charged on *every* syscall while SUD is enabled, even exempt
+    /// ones (the effect Table II's "baseline with SUD enabled" row
+    /// isolates).
+    pub sud_check: u64,
+    /// Building and delivering a signal frame (SIGSYS).
+    pub signal_deliver: u64,
+    /// `rt_sigreturn` context restoration.
+    pub sigreturn: u64,
+    /// One cBPF instruction in a seccomp filter.
+    pub seccomp_insn: u64,
+    /// One scheduler context switch (ptrace stops cost two each).
+    pub context_switch: u64,
+    /// Syscalls the ptrace tracer itself issues per stop
+    /// (PTRACE_GETREGS, PTRACE_CONT, waitpid, …), each charged a bare
+    /// round trip.
+    pub ptrace_tracer_syscalls: u64,
+}
+
+impl Default for KernelCost {
+    fn default() -> KernelCost {
+        KernelCost {
+            entry: 90,
+            exit: 90,
+            dispatch: 100,
+            sud_check: 118,
+            signal_deliver: 2900,
+            sigreturn: 2300,
+            seccomp_insn: 15,
+            context_switch: 4000,
+            ptrace_tracer_syscalls: 4,
+        }
+    }
+}
+
+impl KernelCost {
+    /// Cost of a bare syscall round trip (no interception machinery).
+    pub fn bare_roundtrip(&self) -> u64 {
+        self.entry + self.dispatch + self.exit
+    }
+
+    /// Cost the ptrace model adds to every tracee syscall: a
+    /// syscall-entry stop and a syscall-exit stop, each with two
+    /// context switches and the tracer's own syscalls.
+    pub fn ptrace_per_syscall(&self) -> u64 {
+        let per_stop =
+            2 * self.context_switch + self.ptrace_tracer_syscalls * self.bare_roundtrip();
+        2 * per_stop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_roundtrip_matches_calibration() {
+        assert_eq!(KernelCost::default().bare_roundtrip(), 280);
+    }
+
+    #[test]
+    fn sud_enabled_ratio_near_paper() {
+        let c = KernelCost::default();
+        let ratio = (c.bare_roundtrip() + c.sud_check) as f64 / c.bare_roundtrip() as f64;
+        assert!((ratio - 1.42).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ptrace_dominates_everything() {
+        let c = KernelCost::default();
+        assert!(c.ptrace_per_syscall() > 15 * c.bare_roundtrip());
+    }
+}

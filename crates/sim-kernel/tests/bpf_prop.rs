@@ -1,0 +1,94 @@
+//! Property tests for the cBPF filter VM: validated programs always
+//! terminate within their instruction count, on any input — the
+//! guarantee the real kernel's verifier provides.
+
+use proptest::prelude::*;
+use lp_sim_kernel::seccomp::{BpfAction, BpfInsn, BpfProgram, SeccompData};
+
+fn action() -> impl Strategy<Value = BpfAction> {
+    prop_oneof![
+        Just(BpfAction::Allow),
+        any::<u16>().prop_map(BpfAction::Errno),
+        Just(BpfAction::Trap),
+        Just(BpfAction::Kill),
+    ]
+}
+
+/// Generates structurally valid programs: jumps bounded to stay in
+/// range, a Ret terminator appended.
+fn valid_program() -> impl Strategy<Value = BpfProgram> {
+    (1usize..24).prop_flat_map(|body_len| {
+        let insn = (0..body_len).map(move |i| {
+            // Remaining instructions after position i (body + 1 ret).
+            let remaining = (body_len - i) as u8;
+            prop_oneof![
+                Just(BpfInsn::LdNr),
+                Just(BpfInsn::LdIp),
+                (0u8..6).prop_map(BpfInsn::LdArg),
+                (any::<u64>(), 0..remaining, 0..remaining)
+                    .prop_map(|(k, jt, jf)| BpfInsn::JeqK { k, jt, jf }),
+                (any::<u64>(), 0..remaining, 0..remaining)
+                    .prop_map(|(k, jt, jf)| BpfInsn::JgeK { k, jt, jf }),
+                action().prop_map(BpfInsn::Ret),
+            ]
+        });
+        let strategies: Vec<_> = insn.collect();
+        strategies.prop_map(|mut insns: Vec<BpfInsn>| {
+            insns.push(BpfInsn::Ret(BpfAction::Allow));
+            BpfProgram::new(insns).expect("constructed valid")
+        })
+    })
+}
+
+fn data() -> impl Strategy<Value = SeccompData> {
+    (any::<u64>(), any::<u64>(), any::<[u64; 6]>()).prop_map(|(nr, ip, args)| SeccompData {
+        nr,
+        instruction_pointer: ip,
+        args,
+    })
+}
+
+proptest! {
+    /// Every validated program terminates, and executes at most one
+    /// visit per instruction (forward-only jumps ⇒ bounded by len).
+    #[test]
+    fn validated_programs_terminate(prog in valid_program(), d in data()) {
+        let (_action, executed) = prog.run(&d);
+        prop_assert!(executed as usize <= prog.len());
+        prop_assert!(executed >= 1);
+    }
+
+    /// Filters are pure functions of their input.
+    #[test]
+    fn filters_are_deterministic(prog in valid_program(), d in data()) {
+        prop_assert_eq!(prog.run(&d), prog.run(&d));
+    }
+
+    /// The deny-list constructor is correct for arbitrary number sets.
+    #[test]
+    fn deny_numbers_semantics(
+        denied in proptest::collection::btree_set(0u64..1000, 1..20),
+        probe in 0u64..1000,
+    ) {
+        let list: Vec<u64> = denied.iter().copied().collect();
+        let prog = BpfProgram::deny_numbers(&list);
+        let d = SeccompData { nr: probe, instruction_pointer: 0, args: [0; 6] };
+        let (act, _) = prog.run(&d);
+        if denied.contains(&probe) {
+            prop_assert_eq!(act, BpfAction::Errno(1));
+        } else {
+            prop_assert_eq!(act, BpfAction::Allow);
+        }
+    }
+
+    /// The ip-range constructor matches interval membership exactly.
+    #[test]
+    fn ip_range_semantics(start in 0u64..10_000, len in 0u64..10_000, probe in 0u64..30_000) {
+        let prog = BpfProgram::trap_all_except_ip_range(start, start + len);
+        let d = SeccompData { nr: 1, instruction_pointer: probe, args: [0; 6] };
+        let (act, _) = prog.run(&d);
+        let inside = probe >= start && probe < start + len;
+        let msg = format!("probe {probe} in [{start}, {})", start + len);
+        prop_assert_eq!(act == BpfAction::Allow, inside, "{}", msg);
+    }
+}

@@ -1,0 +1,95 @@
+//! The tcc-like JIT workload (paper §V-A).
+//!
+//! The paper's exhaustiveness experiment introduces "a singular,
+//! non-libc getpid syscall" into a program JIT-compiled at run time.
+//! This guest program does the moral equivalent: it `mmap`s a fresh
+//! executable page, emits `mov r0, GETPID; syscall; ret` into it byte
+//! by byte, and calls it — so the `SYSCALL` instruction *did not
+//! exist* when any static rewriter scanned the image.
+
+use sim_cpu::asm::Asm;
+use sim_cpu::reg::Gpr;
+use sim_kernel::sysno;
+
+use crate::libc::exit_group;
+
+/// Where the JIT output page is mapped.
+pub const JIT_PAGE: u64 = 0x20000;
+
+/// Builds the JIT workload. After a successful run:
+///
+/// * `r12` holds the JIT'd `getpid()` result (1000),
+/// * `r13` holds a statically-present `getpid()` result (1000).
+pub fn build() -> Vec<u8> {
+    // The code the "compiler" emits at runtime.
+    let jitted = Asm::new()
+        .mov_ri(Gpr::R0, sysno::GETPID)
+        .syscall()
+        .ret()
+        .assemble()
+        .expect("jitted code assembles");
+
+    let mut asm = Asm::new()
+        // mmap(JIT_PAGE, 4096, RWX, FIXED) — a JIT page.
+        .mov_ri(Gpr::R0, sysno::MMAP)
+        .mov_ri(Gpr::R1, JIT_PAGE)
+        .mov_ri(Gpr::R2, 4096)
+        .mov_ri(Gpr::R3, 7)
+        .mov_ri(Gpr::R4, 0x10)
+        .syscall()
+        // Emit the compiled bytes one store at a time ("compilation").
+        .mov_ri(Gpr::R9, JIT_PAGE);
+    for (i, &b) in jitted.iter().enumerate() {
+        asm = asm
+            .mov_ri(Gpr::R8, b as u64)
+            .store_b(Gpr::R9, Gpr::R8, i as i32);
+    }
+    let asm = asm
+        // Call the freshly generated code.
+        .call("invoke_jit")
+        .mov_rr(Gpr::R12, Gpr::R0)
+        // A static getpid for comparison (rewriters do see this one).
+        .mov_ri(Gpr::R0, sysno::GETPID)
+        .syscall()
+        .mov_rr(Gpr::R13, Gpr::R0)
+        .jmp("done")
+        .label("invoke_jit")
+        .mov_ri(Gpr::R9, JIT_PAGE)
+        .jmp_reg(Gpr::R9) // tail-jump: the jitted ret returns to our caller
+        .label("done");
+    exit_group(asm, 0)
+        .assemble_at(sim_kernel::kernel::LOAD_ADDR)
+        .expect("jit workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::System;
+
+    #[test]
+    fn jit_workload_runs_and_both_getpids_work() {
+        let mut sys = System::new();
+        sys.load_program(&build()).unwrap();
+        assert_eq!(sys.run().unwrap(), 0);
+        assert_eq!(sys.machine.gpr(Gpr::R12), 1000, "jitted getpid");
+        assert_eq!(sys.machine.gpr(Gpr::R13), 1000, "static getpid");
+    }
+
+    #[test]
+    fn static_scan_of_image_misses_the_jit_syscall() {
+        let image = build();
+        let offsets = sim_cpu::insn::find_syscall_offsets(&image);
+        // The static getpid and exit_group are visible; the jitted one
+        // is data (immediate bytes of the emitting stores) — one of
+        // zpoline's two exhaustiveness gaps.
+        assert!(offsets.len() >= 2);
+        // And running it produces 3 real SYSCALL entries beyond mmap:
+        let mut sys = System::new();
+        sys.load_program(&image).unwrap();
+        sys.run().unwrap();
+        // mmap + jitted getpid + static getpid + exit_group
+        assert_eq!(sys.kernel.stats().syscalls, 4);
+        assert_eq!(offsets.len(), 3); // mmap, static getpid, exit_group
+    }
+}

@@ -1,0 +1,57 @@
+//! x86-64 Linux syscall ABI primitives.
+//!
+//! This crate is the lowest substrate of the lazypoline reproduction suite.
+//! It provides:
+//!
+//! * [`nr`] — the x86-64 syscall number table and number→name mapping,
+//! * [`Errno`] — kernel error numbers with the raw-return-value convention,
+//! * [`SyscallArgs`] — the 6-register argument bundle used by every
+//!   interposer in the suite,
+//! * [`raw`] — raw `syscall`-instruction invocation helpers that bypass
+//!   libc entirely (and therefore bypass any libc-level hooking).
+//!
+//! # Example
+//!
+//! ```rust
+//! use lp_syscalls::{nr, raw, Errno};
+//!
+//! // getpid never fails
+//! let pid = unsafe { raw::syscall0(nr::GETPID) };
+//! assert!(pid > 0);
+//!
+//! // a non-existent syscall returns -ENOSYS
+//! let r = unsafe { raw::syscall0(lp_syscalls::NONEXISTENT_SYSCALL) };
+//! assert_eq!(Errno::from_ret(r), Some(Errno::ENOSYS));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod args;
+pub mod errno;
+pub mod nr;
+pub mod raw;
+
+pub use args::SyscallArgs;
+pub use errno::Errno;
+
+/// A syscall number that no Linux kernel implements (used by the paper's
+/// microbenchmark, §V-B: "a non-existent syscall (number 500)").
+pub const NONEXISTENT_SYSCALL: u64 = 500;
+
+/// The highest syscall number the zpoline-style trampoline must cover.
+///
+/// The paper (§II-B): "these `call rax` instructions jump to a virtual
+/// address between 0 and the max syscall number N, typically under 500".
+/// We cover 512 bytes to leave headroom, like the zpoline prototype.
+pub const MAX_SYSCALL_NR: u64 = 512;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonexistent_is_above_table() {
+        assert!(nr::name(NONEXISTENT_SYSCALL).is_none());
+        assert!(NONEXISTENT_SYSCALL < MAX_SYSCALL_NR);
+    }
+}

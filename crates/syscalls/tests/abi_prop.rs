@@ -1,0 +1,41 @@
+//! Property tests for the errno encoding and argument bundles — the
+//! ABI facts every interposer in the suite leans on.
+
+use proptest::prelude::*;
+use lp_syscalls::{nr, Errno, SyscallArgs};
+
+proptest! {
+    /// -errno encoding round-trips for the whole legal range.
+    #[test]
+    fn errno_roundtrip(e in 1i32..=4095) {
+        let errno = Errno::new(e);
+        prop_assert_eq!(Errno::from_ret(errno.as_ret()), Some(errno));
+        prop_assert_eq!(Errno::result(errno.as_ret()), Err(errno));
+    }
+
+    /// Values outside [-4095, -1] never decode as errors — mmap-style
+    /// huge success values must pass through.
+    #[test]
+    fn non_error_values_pass(v in any::<u64>()) {
+        let s = v as i64;
+        let is_err_range = (-4095..0).contains(&s);
+        prop_assert_eq!(Errno::from_ret(v).is_some(), is_err_range);
+    }
+
+    /// Debug formatting of arbitrary call bundles never panics and
+    /// always shows all six arguments.
+    #[test]
+    fn args_debug_total(nr in any::<u64>(), args in any::<[u64; 6]>()) {
+        let s = format!("{:?}", SyscallArgs::new(nr, args));
+        prop_assert!(s.ends_with(')'));
+        prop_assert_eq!(s.matches(", ").count(), 5);
+    }
+
+    /// The number→name table is internally consistent for any input.
+    #[test]
+    fn name_number_consistency(n in 0u64..600) {
+        if let Some(name) = nr::name(n) {
+            prop_assert_eq!(nr::number(name), Some(n));
+        }
+    }
+}

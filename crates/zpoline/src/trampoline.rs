@@ -1,0 +1,472 @@
+//! The page-zero trampoline and the assembly entry stub.
+//!
+//! # Control flow after rewriting
+//!
+//! ```text
+//! app:  mov rax, NR          ; syscall number, per the ABI
+//!       call rax             ; ← was `syscall` (0f 05), now ff d0
+//!         │ pushes return address, jumps to VA = NR (< 512)
+//!         ▼
+//! 0x000..0x200: 90 90 90 ... ; nop sled, slides to…
+//! 0x200: movabs r11, lp_zpoline_entry ; jmp r11
+//!         ▼
+//! lp_zpoline_entry (asm below): save registers → optional XSAVE →
+//!       call the registered dispatcher → optional XRSTOR → restore →
+//!       ret   ; straight back to the instruction after the call site
+//! ```
+//!
+//! # ABI fidelity (paper §IV-B(b))
+//!
+//! On x86-64 Linux, `syscall` clobbers only `rax` (return value), `rcx`
+//! and `r11`. The stub preserves every other general-purpose register
+//! exactly, and — when an [`XstateMask`] is set — uses `xsave64`/
+//! `xrstor64` to preserve x87/SSE/AVX state across the dispatcher, since
+//! compilers freely keep live values in `xmm` registers across syscalls
+//! (the paper's Listing 1 shows glibc's pthread initialization doing
+//! exactly that).
+//!
+//! Deviation from the C prototype: the XSAVE area lives on the
+//! (64-byte-aligned) stack rather than in a dedicated `%gs`-relative
+//! per-task region. Stack placement nests naturally across reentrant
+//! interposer invocations (the paper manages its off-stack region "as a
+//! stack" for the same reason) at the cost of ~4 KiB of stack per
+//! nesting level.
+//!
+//! # Red zone
+//!
+//! The `call rax` push itself overwrites the top 8 bytes of the
+//! System-V red zone — an inherent property of the zpoline technique
+//! that the prototype shares. The stub protects the *rest* of the red
+//! zone by moving `rsp` down 128 bytes before its own pushes.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use syscalls::MAX_SYSCALL_NR;
+
+/// Register image captured by the entry stub, in stack layout order.
+///
+/// The dispatcher receives a `*mut RawFrame`; mutating `a1..a6` before
+/// re-issuing the syscall implements argument rewriting, and the
+/// dispatcher's return value becomes the application-visible `rax`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct RawFrame {
+    /// Syscall number (`rax` at the call site).
+    pub nr: u64,
+    /// `rdi`.
+    pub a1: u64,
+    /// `rsi`.
+    pub a2: u64,
+    /// `rdx`.
+    pub a3: u64,
+    /// `r10`.
+    pub a4: u64,
+    /// `r8`.
+    pub a5: u64,
+    /// `r9`.
+    pub a6: u64,
+    /// Application `rbx` (saved/restored by the stub; exposed for
+    /// completeness and debugging).
+    pub saved_rbx: u64,
+    /// Application `rbp` (saved/restored by the stub).
+    pub saved_rbp: u64,
+    /// Return address pushed by `call rax`: the address of the
+    /// instruction following the original `syscall`. `clone` handling
+    /// needs this to construct the child's initial frame.
+    pub ret_addr: u64,
+}
+
+impl RawFrame {
+    /// The invocation as a [`syscalls::SyscallArgs`] bundle.
+    pub fn syscall_args(&self) -> syscalls::SyscallArgs {
+        syscalls::SyscallArgs::new(self.nr, [self.a1, self.a2, self.a3, self.a4, self.a5, self.a6])
+    }
+}
+
+/// A dispatcher invoked by the entry stub for every rewritten syscall.
+///
+/// # Safety contract
+///
+/// Runs on the application thread, possibly deep in a libc call; it must
+/// be async-signal-safe-ish (no panicking across the boundary, no
+/// assumptions about libc state). The returned value is placed in the
+/// application's `rax`.
+pub type DispatchFn = unsafe extern "C" fn(frame: *mut RawFrame) -> u64;
+
+/// Which extended-state components the stub preserves around the
+/// dispatcher (paper §IV-B(b): "a configurable option that controls
+/// which extended state components are preserved, if any").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum XstateMask {
+    /// Preserve nothing beyond general-purpose registers — the
+    /// "lazypoline without xstate preservation" configuration.
+    None,
+    /// Preserve x87 FPU state only (XCR0 bit 0).
+    X87,
+    /// Preserve x87 + SSE (`xmm0-15`).
+    Sse,
+    /// Preserve x87 + SSE + AVX (`ymm` high halves) — the full
+    /// default configuration benchmarked in Table II.
+    #[default]
+    Avx,
+}
+
+impl XstateMask {
+    /// The XSAVE requested-feature bitmap low byte.
+    pub fn rfbm(self) -> u8 {
+        match self {
+            XstateMask::None => 0b000,
+            XstateMask::X87 => 0b001,
+            XstateMask::Sse => 0b011,
+            XstateMask::Avx => 0b111,
+        }
+    }
+}
+
+// ——— Globals read by the asm stub ———————————————————————————————————
+//
+// LP_XSTATE_MASK: one byte, the XSAVE RFBM (0 = skip xsave entirely).
+// LP_DISPATCH_PTR: the registered dispatcher (never 0 once installed).
+
+#[no_mangle]
+static mut LP_XSTATE_MASK: u8 = 0b111;
+
+#[no_mangle]
+static LP_DISPATCH_PTR: AtomicUsize = AtomicUsize::new(0);
+
+/// Default dispatcher: execute the syscall unchanged (the paper's
+/// "dummy" interposition function used throughout the evaluation).
+unsafe extern "C" fn passthrough_dispatch(frame: *mut RawFrame) -> u64 {
+    syscalls::raw::syscall((*frame).syscall_args())
+}
+
+/// Registers the dispatcher invoked for every rewritten syscall site,
+/// returning the previous one (if any).
+pub fn set_dispatcher(f: DispatchFn) -> Option<DispatchFn> {
+    let old = LP_DISPATCH_PTR.swap(f as usize, Ordering::SeqCst);
+    if old == 0 {
+        None
+    } else {
+        // SAFETY: only ever stores valid DispatchFn pointers.
+        Some(unsafe { std::mem::transmute::<usize, DispatchFn>(old) })
+    }
+}
+
+/// Configures extended-state preservation. Takes effect for subsequent
+/// trampoline entries on all threads.
+pub fn set_xstate_mask(mask: XstateMask) {
+    // SAFETY: single-byte store; the asm stub reads it with a plain
+    // load, and either value yields a consistent save/restore pair
+    // because the stub re-reads the byte only once per entry.
+    unsafe { std::ptr::write_volatile(std::ptr::addr_of_mut!(LP_XSTATE_MASK), mask.rfbm()) };
+}
+
+/// Reads the current xstate preservation mask byte (RFBM encoding).
+pub fn xstate_mask_byte() -> u8 {
+    unsafe { std::ptr::read_volatile(std::ptr::addr_of!(LP_XSTATE_MASK)) }
+}
+
+std::arch::global_asm!(
+    r#"
+    .text
+    .globl lp_zpoline_entry
+    .type lp_zpoline_entry, @function
+    .align 16
+lp_zpoline_entry:
+    # On entry (via the sled): [rsp] = return address pushed by `call rax`,
+    # rax = syscall nr, args in rdi/rsi/rdx/r10/r8/r9.
+    sub rsp, 128                  # protect the rest of the red zone
+    push qword ptr [rsp + 128]    # frame.ret_addr
+    push rbp                      # frame.saved_rbp
+    push rbx                      # frame.saved_rbx (rbx = our xsave anchor)
+    push r9                       # frame.a6
+    push r8                       # frame.a5
+    push r10                      # frame.a4
+    push rdx                      # frame.a3
+    push rsi                      # frame.a2
+    push rdi                      # frame.a1
+    push rax                      # frame.nr
+    mov rbp, rsp                  # rbp = &RawFrame
+    xor ebx, ebx                  # rbx = xsave area or 0
+    mov rax, qword ptr [rip + LP_XSTATE_MASK@GOTPCREL]
+    movzx eax, byte ptr [rax]
+    test eax, eax
+    je 2f
+    # Carve an aligned XSAVE area; 4096 bytes covers x87+SSE+AVX with
+    # ample slack on every xsave-capable CPU.
+    sub rsp, 4096 + 64
+    and rsp, -64
+    mov rbx, rsp
+    # The XSAVE header (bytes 512..576) must be zero before XSAVE.
+    xor edx, edx
+    mov qword ptr [rbx + 512], rdx
+    mov qword ptr [rbx + 520], rdx
+    mov qword ptr [rbx + 528], rdx
+    mov qword ptr [rbx + 536], rdx
+    mov qword ptr [rbx + 544], rdx
+    mov qword ptr [rbx + 552], rdx
+    mov qword ptr [rbx + 560], rdx
+    mov qword ptr [rbx + 568], rdx
+    xsave64 [rbx]                 # eax = RFBM low bits, edx = 0
+2:
+    mov rdi, rbp                  # arg0 = &RawFrame
+    mov rax, qword ptr [rip + LP_DISPATCH_PTR@GOTPCREL]
+    mov rax, qword ptr [rax]
+    and rsp, -16                  # C ABI alignment for the call
+    call rax                      # rax = syscall result
+    test rbx, rbx
+    je 3f
+    mov qword ptr [rbp], rax      # stash result in frame.nr slot
+    mov rax, qword ptr [rip + LP_XSTATE_MASK@GOTPCREL]
+    movzx eax, byte ptr [rax]
+    xor edx, edx
+    xrstor64 [rbx]
+    mov rax, qword ptr [rbp]      # reload result
+3:
+    lea rsp, [rbp + 8]            # drop frame.nr (rax now holds result)
+    pop rdi
+    pop rsi
+    pop rdx
+    pop r10
+    pop r8
+    pop r9
+    pop rbx
+    pop rbp
+    add rsp, 8                    # drop frame.ret_addr copy
+    add rsp, 128                  # un-skip the red zone
+    ret                           # to the instruction after the call site
+    .size lp_zpoline_entry, . - lp_zpoline_entry
+"#
+);
+
+extern "C" {
+    /// The assembly entry stub (see module docs).
+    pub fn lp_zpoline_entry();
+}
+
+static TRAMPOLINE_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Handle to the installed page-zero trampoline.
+///
+/// The mapping is process-global and irrevocable by design: rewritten
+/// `call rax` sites all over the process depend on it, so there is no
+/// uninstall and the handle is a zero-sized witness.
+#[derive(Debug)]
+pub struct Trampoline {
+    sled_len: usize,
+}
+
+/// Total bytes mapped at address 0 (sled + jump stub, page-rounded).
+pub const TRAMPOLINE_BYTES: usize = 4096;
+
+impl Trampoline {
+    /// Maps the trampoline page at virtual address 0 and arms it.
+    ///
+    /// Registers the passthrough dispatcher if none is installed yet.
+    /// Idempotent: a second call returns a handle without remapping.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the underlying `mmap`/`mprotect` error — most commonly
+    /// `EPERM` when `vm.mmap_min_addr > 0`.
+    pub fn install() -> io::Result<Trampoline> {
+        let sled_len = MAX_SYSCALL_NR as usize;
+        if TRAMPOLINE_INSTALLED.load(Ordering::SeqCst) {
+            return Ok(Trampoline { sled_len });
+        }
+
+        LP_DISPATCH_PTR
+            .compare_exchange(
+                0,
+                passthrough_dispatch as *const () as usize,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .ok();
+
+        // SAFETY: MAP_FIXED at 0 over a region nothing can legitimately
+        // occupy; we fully initialize it before making it executable.
+        let page = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                TRAMPOLINE_BYTES,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_FIXED,
+                -1,
+                0,
+            )
+        };
+        if page == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        if !page.is_null() {
+            // The kernel honored MAP_FIXED at some other address only if
+            // we asked wrongly; treat as unsupported environment.
+            unsafe { libc::munmap(page, TRAMPOLINE_BYTES) };
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "kernel refused a mapping at virtual address 0",
+            ));
+        }
+
+        unsafe {
+            // nop sled covering every syscall number. The sled starts at
+            // address 0, which Rust pointer intrinsics treat as null, so
+            // the fill goes through libc (plain FFI, no null checks).
+            libc::memset(page, 0x90, sled_len);
+            // movabs r11, lp_zpoline_entry ; jmp r11
+            // (r11 is syscall-clobbered, so scribbling it is ABI-clean.)
+            let stub = sled_len as *mut u8; // page base is 0
+            stub.add(0).write(0x49);
+            stub.add(1).write(0xbb);
+            (stub.add(2) as *mut u64).write_unaligned(lp_zpoline_entry as *const () as usize as u64);
+            stub.add(10).write(0x41);
+            stub.add(11).write(0xff);
+            stub.add(12).write(0xe3);
+
+            if libc::mprotect(page, TRAMPOLINE_BYTES, libc::PROT_READ | libc::PROT_EXEC) != 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+
+        TRAMPOLINE_INSTALLED.store(true, Ordering::SeqCst);
+        Ok(Trampoline { sled_len })
+    }
+
+    /// Whether the trampoline is live in this process.
+    pub fn is_installed() -> bool {
+        TRAMPOLINE_INSTALLED.load(Ordering::SeqCst)
+    }
+
+    /// Length of the nop sled (= number of syscall numbers covered).
+    pub fn sled_len(&self) -> usize {
+        self.sled_len
+    }
+
+    /// Probes whether this environment permits mapping page zero,
+    /// without leaving the trampoline installed. Useful for skipping
+    /// tests/benches gracefully.
+    pub fn environment_supported() -> bool {
+        if Self::is_installed() {
+            return true;
+        }
+        std::fs::read_to_string("/proc/sys/vm/mmap_min_addr")
+            .map(|s| s.trim().parse::<u64>().unwrap_or(u64::MAX) == 0)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use syscalls::{nr, Errno};
+
+    static SEEN_NR: AtomicU64 = AtomicU64::new(0);
+
+    unsafe extern "C" fn counting_dispatch(frame: *mut RawFrame) -> u64 {
+        SEEN_NR.store((*frame).nr, Ordering::SeqCst);
+        syscalls::raw::syscall((*frame).syscall_args())
+    }
+
+    fn call_via_trampoline(args: syscalls::SyscallArgs) -> u64 {
+        // Simulate an already-rewritten site: `call rax` with rax = nr.
+        let ret: u64;
+        unsafe {
+            std::arch::asm!(
+                "call rax",
+                inlateout("rax") args.nr => ret,
+                in("rdi") args.args[0],
+                in("rsi") args.args[1],
+                in("rdx") args.args[2],
+                in("r10") args.args[3],
+                in("r8") args.args[4],
+                in("r9") args.args[5],
+                out("rcx") _,
+                out("r11") _,
+            );
+        }
+        ret
+    }
+
+    #[test]
+    fn trampoline_end_to_end() {
+        if !Trampoline::environment_supported() {
+            eprintln!("vm.mmap_min_addr != 0; skipping trampoline test");
+            return;
+        }
+        let t = Trampoline::install().unwrap();
+        assert_eq!(t.sled_len(), 512);
+        assert!(Trampoline::is_installed());
+        set_dispatcher(counting_dispatch);
+
+        // getpid through the trampoline must match the real pid.
+        let pid = call_via_trampoline(syscalls::SyscallArgs::nullary(nr::GETPID));
+        assert_eq!(pid, unsafe { libc::getpid() } as u64);
+        assert_eq!(SEEN_NR.load(Ordering::SeqCst), nr::GETPID);
+
+        // Syscall 500 (tail of the sled) must come back ENOSYS.
+        let r = call_via_trampoline(syscalls::SyscallArgs::nullary(
+            syscalls::NONEXISTENT_SYSCALL,
+        ));
+        assert_eq!(Errno::from_ret(r), Some(Errno::ENOSYS));
+        assert_eq!(SEEN_NR.load(Ordering::SeqCst), syscalls::NONEXISTENT_SYSCALL);
+
+        // Arguments must flow through unmangled: write to an invalid fd.
+        let buf = b"zz";
+        let r = call_via_trampoline(syscalls::SyscallArgs::new(
+            nr::WRITE,
+            [u64::MAX, buf.as_ptr() as u64, 2, 0, 0, 0],
+        ));
+        assert_eq!(Errno::from_ret(r), Some(Errno::EBADF));
+    }
+
+    #[test]
+    fn xstate_preserved_across_trampoline() {
+        if !Trampoline::environment_supported() {
+            eprintln!("vm.mmap_min_addr != 0; skipping xstate test");
+            return;
+        }
+        Trampoline::install().unwrap();
+        set_xstate_mask(XstateMask::Avx);
+
+        // Load a sentinel into xmm7, cross the trampoline, read it back.
+        // This is exactly the glibc pattern from the paper's Listing 1.
+        let before: u64 = 0xdead_beef_cafe_f00d;
+        let after: u64;
+        unsafe {
+            std::arch::asm!(
+                "movq xmm7, {before}",
+                "call rax",
+                "movq {after}, xmm7",
+                before = in(reg) before,
+                after = out(reg) after,
+                inlateout("rax") nr::GETPID => _,
+                in("rdi") 0u64, in("rsi") 0u64, in("rdx") 0u64,
+                in("r10") 0u64, in("r8") 0u64, in("r9") 0u64,
+                out("rcx") _, out("r11") _,
+            );
+        }
+        assert_eq!(after, before, "xmm7 clobbered across interposition");
+    }
+
+    #[test]
+    fn xstate_mask_encoding() {
+        assert_eq!(XstateMask::None.rfbm(), 0);
+        assert_eq!(XstateMask::X87.rfbm(), 1);
+        assert_eq!(XstateMask::Sse.rfbm(), 3);
+        assert_eq!(XstateMask::Avx.rfbm(), 7);
+        assert_eq!(XstateMask::default(), XstateMask::Avx);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let orig = xstate_mask_byte();
+        set_xstate_mask(XstateMask::Sse);
+        assert_eq!(xstate_mask_byte(), 3);
+        set_xstate_mask(XstateMask::Avx);
+        assert_eq!(xstate_mask_byte(), 7);
+        unsafe { std::ptr::write_volatile(std::ptr::addr_of_mut!(LP_XSTATE_MASK), orig) };
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the x86-64 length disassembler — the component
+//! whose heuristic nature motivates the paper's dynamic approach, so
+//! its *mechanical* invariants (progress, boundary discipline) must be
+//! ironclad even where its *identification* is best-effort.
+
+use proptest::prelude::*;
+use lp_zpoline::disasm::{decode, sweep};
+
+proptest! {
+    /// Arbitrary bytes never produce a zero-length decode (which would
+    /// hang a linear sweep) and never panic.
+    #[test]
+    fn decode_always_progresses(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let insn = decode(&bytes);
+        prop_assert!(insn.len >= 1);
+    }
+
+    /// A sweep consumes exactly the buffer: offsets strictly increase
+    /// and the final instruction ends at or before the end.
+    #[test]
+    fn sweep_partitions_buffer(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut expected = 0usize;
+        for (off, insn) in sweep(&bytes) {
+            prop_assert_eq!(off, expected);
+            prop_assert!(insn.len >= 1);
+            expected = off + insn.len;
+        }
+        if !bytes.is_empty() {
+            prop_assert!(expected >= bytes.len());
+        }
+    }
+
+    /// A syscall instruction always *ends* with the 0f 05 bytes
+    /// (prefixed encodings like `40 0f 05` are legal), which is what
+    /// the patcher targets.
+    #[test]
+    fn syscall_reports_are_byte_accurate(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        for (off, insn) in sweep(&bytes) {
+            if insn.is_syscall {
+                let end = off + insn.len;
+                prop_assert_eq!(&bytes[end - 2..end], &[0x0f, 0x05]);
+            }
+        }
+    }
+}
+
+/// Generator for single well-formed instructions (encoding, length).
+fn wellformed_insn() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        Just(vec![0x90]),                                     // nop
+        Just(vec![0xc3]),                                     // ret
+        Just(vec![0x0f, 0x05]),                               // syscall
+        Just(vec![0xff, 0xd0]),                               // call rax
+        any::<u32>().prop_map(|i| {                           // mov eax, imm32
+            let mut v = vec![0xb8];
+            v.extend_from_slice(&i.to_le_bytes());
+            v
+        }),
+        any::<u64>().prop_map(|i| {                           // movabs rax, imm64
+            let mut v = vec![0x48, 0xb8];
+            v.extend_from_slice(&i.to_le_bytes());
+            v
+        }),
+        any::<i32>().prop_map(|d| {                           // call rel32
+            let mut v = vec![0xe8];
+            v.extend_from_slice(&d.to_le_bytes());
+            v
+        }),
+        (0u8..8).prop_map(|r| vec![0x50 + r]),                // push r
+        Just(vec![0x48, 0x89, 0xe5]),                         // mov rbp, rsp
+        Just(vec![0x48, 0x83, 0xec, 0x20]),                   // sub rsp, 0x20
+        any::<u8>().prop_map(|d| vec![0xeb, d]),              // jmp rel8
+        Just(vec![0x8b, 0x45, 0xfc]),                         // mov eax, [rbp-4]
+        Just(vec![0x66, 0x0f, 0x6f, 0x07]),                   // movdqa
+        Just(vec![0xc5, 0xf8, 0x77]),                         // vzeroupper
+    ]
+}
+
+proptest! {
+    /// Concatenated well-formed instructions decode back at exactly
+    /// their original boundaries with no unknown bytes — the property
+    /// that makes linear sweep usable on compiler output at all.
+    #[test]
+    fn wellformed_streams_resynchronize_exactly(
+        insns in proptest::collection::vec(wellformed_insn(), 1..32)
+    ) {
+        let mut buf = Vec::new();
+        let mut boundaries = Vec::new();
+        for i in &insns {
+            boundaries.push(buf.len());
+            buf.extend_from_slice(i);
+        }
+        let decoded: Vec<(usize, _)> = sweep(&buf).collect();
+        let offsets: Vec<usize> = decoded.iter().map(|(o, _)| *o).collect();
+        prop_assert_eq!(offsets, boundaries);
+        for (_, insn) in &decoded {
+            prop_assert!(insn.known);
+        }
+    }
+
+    /// Within a well-formed stream, the scanner finds exactly the real
+    /// syscall instructions — no false positives from immediates.
+    #[test]
+    fn scanner_exact_on_wellformed_streams(
+        insns in proptest::collection::vec(wellformed_insn(), 1..32)
+    ) {
+        let mut buf = Vec::new();
+        let mut true_sites = Vec::new();
+        for i in &insns {
+            if i == &[0x0f, 0x05] {
+                true_sites.push(buf.len());
+            }
+            buf.extend_from_slice(i);
+        }
+        let report = lp_zpoline::find_syscall_sites(0, &buf);
+        prop_assert_eq!(report.sites, true_sites);
+        prop_assert_eq!(report.unknown_bytes, 0);
+    }
+}

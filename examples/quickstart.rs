@@ -1,0 +1,77 @@
+//! Quickstart: count every syscall this process makes, exhaustively.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Requires an x86-64 Linux kernel ≥ 5.11 with `vm.mmap_min_addr = 0`
+//! (for the page-zero trampoline). The example prints the top syscalls
+//! it observed, plus the engine counters showing the hybrid mechanism
+//! at work: a handful of slow-path (SIGSYS) trips that each patched one
+//! site, and many fast-path dispatches through those patched sites.
+
+use interpose::{CountHandler, SyscallHandler};
+use lazypoline::{init, Config};
+
+fn main() {
+    if !zpoline::Trampoline::environment_supported() {
+        eprintln!("skip: vm.mmap_min_addr must be 0 for the trampoline");
+        return;
+    }
+
+    // 1. Register an interposer (here: a per-syscall counter).
+    let counter: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
+    struct Shared(&'static CountHandler);
+    impl SyscallHandler for Shared {
+        fn handle(&self, ev: &mut interpose::SyscallEvent) -> interpose::Action {
+            self.0.handle(ev)
+        }
+    }
+    interpose::set_global_handler(Box::new(Shared(counter)));
+
+    // 2. Arm the hybrid engine on this thread.
+    let engine = match init(Config::default()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("skip: lazypoline unavailable: {e}");
+            return;
+        }
+    };
+
+    // 3. Do ordinary work — plain std calls, nothing special.
+    let hostname = std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .unwrap_or_else(|_| "unknown".into());
+    for _ in 0..100 {
+        let _ = std::fs::metadata("/tmp");
+    }
+    let mut tmp = std::env::temp_dir();
+    tmp.push("lazypoline-quickstart.txt");
+    std::fs::write(&tmp, "hello from under interposition\n").unwrap();
+    let echoed = std::fs::read_to_string(&tmp).unwrap();
+    std::fs::remove_file(&tmp).unwrap();
+    assert_eq!(echoed, "hello from under interposition\n");
+
+    // 4. Report.
+    engine.unenroll_current_thread();
+    let stats = engine.stats();
+    println!("host: {}", hostname.trim());
+    println!("-- engine counters --");
+    println!("slow-path (SIGSYS) trips : {}", stats.slow_path_hits);
+    println!("sites lazily rewritten   : {}", stats.sites_patched);
+    println!("dispatcher invocations   : {}", stats.dispatches);
+    println!("-- top syscalls observed --");
+    for (nr, count) in counter.top().into_iter().take(10) {
+        println!(
+            "{:>8}  {}",
+            count,
+            syscalls::nr::name(nr).unwrap_or("?")
+        );
+    }
+    assert!(stats.sites_patched >= 1, "no sites were rewritten");
+    assert!(
+        stats.dispatches > stats.slow_path_hits,
+        "fast path should dominate"
+    );
+    assert!(counter.count(syscalls::nr::NEWFSTATAT) >= 100 || counter.count(syscalls::nr::STATX) >= 100);
+    println!("OK: exhaustive interposition with lazy rewriting works");
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the lazypoline reproduction suite.
+//!
+//! Re-exports every component crate under one roof for examples,
+//! integration tests, and downstream experimentation. See the README
+//! for the map and DESIGN.md for the paper-to-crate inventory.
+
+pub use httpd;
+pub use interpose;
+pub use lazypoline;
+pub use sud;
+pub use syscalls;
+pub use zpoline;
+
+pub use sim_cpu;
+pub use sim_interpose;
+pub use sim_kernel;
+pub use sim_pin;
+pub use sim_workloads;

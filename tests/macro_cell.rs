@@ -1,0 +1,153 @@
+//! One full Figure-5 cell end-to-end in the test suite: fork a server
+//! under each interposition configuration, measure briefly, assert
+//! functional correctness (throughput > 0, no protocol errors).
+//!
+//! This is the machinery test; the real measurement runs live in
+//! `cargo run -p lp-bench --bin fig5 --release`.
+
+use httpd::{Docroot, Flavor, Server, ServerConfig};
+use lp_bench::macrobench::{run_cell, ServerInterposition};
+
+fn environment_ready() -> bool {
+    zpoline::Trampoline::environment_supported() && sud::is_supported()
+}
+
+#[test]
+fn every_interposition_config_serves_correctly() {
+    if !environment_ready() {
+        eprintln!("skipping: needs SUD + vm.mmap_min_addr=0");
+        return;
+    }
+    let docroot = Docroot::create(&[4096]).unwrap();
+    for config in ServerInterposition::all() {
+        let cell = run_cell(
+            &docroot,
+            Flavor::LighttpdLike,
+            1,
+            4096,
+            config,
+            0.4,
+            2,
+        )
+        .unwrap_or_else(|e| panic!("{config:?}: {e}"));
+        assert!(
+            cell.rps > 50.0,
+            "{config:?}: implausibly low rps {}",
+            cell.rps
+        );
+        assert_eq!(cell.errors, 0, "{config:?}: protocol errors");
+    }
+}
+
+#[test]
+fn multiworker_server_under_lazypoline() {
+    if !environment_ready() {
+        eprintln!("skipping: needs SUD + vm.mmap_min_addr=0");
+        return;
+    }
+    // Exercises the fork-reenrollment path: the master initializes the
+    // engine, then forks SO_REUSEPORT workers which must stay
+    // interposed.
+    let docroot = Docroot::create(&[1024]).unwrap();
+    let cell = run_cell(
+        &docroot,
+        Flavor::NginxLike,
+        3,
+        1024,
+        ServerInterposition::Lazypoline,
+        0.5,
+        3,
+    )
+    .unwrap();
+    assert!(cell.rps > 50.0, "rps {}", cell.rps);
+    assert_eq!(cell.errors, 0);
+}
+
+#[test]
+fn content_integrity_under_interposition() {
+    if !environment_ready() {
+        eprintln!("skipping: needs SUD + vm.mmap_min_addr=0");
+        return;
+    }
+    // Bytes served through a fully-interposed server must be identical
+    // to the file contents (catches register/xstate corruption in the
+    // hot path at a higher level than the unit tests).
+    use std::io::{Read, Write};
+    let docroot = Docroot::create(&[65536]).unwrap();
+    let (read_port, _stop, _h);
+    {
+        // In-process server thread is not interposed here; instead use
+        // the forked path via run_cell for interposed serving, and
+        // direct byte comparison via a quick manual request against an
+        // interposed forked server.
+        let (r, w) = {
+            let mut fds = [0i32; 2];
+            assert_eq!(unsafe { libc::pipe2(fds.as_mut_ptr(), libc::O_CLOEXEC) }, 0);
+            unsafe {
+                use std::os::fd::FromRawFd;
+                (
+                    std::fs::File::from_raw_fd(fds[0]),
+                    std::fs::File::from_raw_fd(fds[1]),
+                )
+            }
+        };
+        let pid = unsafe { libc::fork() };
+        assert!(pid >= 0);
+        if pid == 0 {
+            drop(r);
+            let mut w = w;
+            interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+            if lazypoline::init(lazypoline::Config::default()).is_err() {
+                std::process::exit(2);
+            }
+            let server = Server::bind(ServerConfig {
+                flavor: Flavor::NginxLike,
+                workers: 1,
+                docroot: docroot.path().to_path_buf(),
+            })
+            .unwrap();
+            w.write_all(&server.port().to_le_bytes()).unwrap();
+            drop(w);
+            static NEVER: std::sync::atomic::AtomicBool =
+                std::sync::atomic::AtomicBool::new(false);
+            let _ = server.run(&NEVER);
+            std::process::exit(0);
+        }
+        drop(w);
+        let mut buf = [0u8; 2];
+        let mut r = r;
+        r.read_exact(&mut buf).unwrap();
+        read_port = u16::from_le_bytes(buf);
+        _stop = pid;
+        _h = ();
+    }
+
+    let mut conn = std::net::TcpStream::connect(("127.0.0.1", read_port)).unwrap();
+    conn.write_all(&httpd::http::get_request("/file_65536", false))
+        .unwrap();
+    let mut resp = Vec::new();
+    conn.read_to_end(&mut resp).unwrap();
+    let body_at = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    assert_eq!(&resp[body_at..], &httpd::docroot::pattern(65536)[..]);
+
+    unsafe {
+        libc::kill(-_stop, libc::SIGKILL);
+        libc::kill(_stop, libc::SIGKILL);
+        libc::waitpid(_stop, std::ptr::null_mut(), 0);
+    }
+
+    // Also run the canned load cell for the SUD config on the same
+    // docroot to cover the slow-path-only server at 64KB.
+    let cell = run_cell(
+        &docroot,
+        Flavor::LighttpdLike,
+        1,
+        65536,
+        ServerInterposition::Sud,
+        0.4,
+        2,
+    )
+    .unwrap();
+    assert_eq!(cell.errors, 0);
+    assert!(cell.rps > 10.0);
+}

@@ -1,0 +1,458 @@
+//! Native end-to-end tests of the lazypoline engine, run in
+//! subprocesses.
+//!
+//! Engine initialization permanently rewrites code in the running
+//! process (that is the design), so every scenario executes in a
+//! fresh re-execution of this test binary (`LP_SCENARIO=<name>`), and
+//! the parent asserts on exit status. Custom harness (`harness =
+//! false` in Cargo.toml).
+
+use std::process::Command;
+
+use interpose::{Action, CountHandler, PolicyBuilder, SyscallEvent, SyscallHandler};
+use lazypoline::{Config, XstateMask};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn environment_ready() -> bool {
+    zpoline::Trampoline::environment_supported() && sud::is_supported()
+}
+
+// ——— scenarios (run in child processes) ————————————————————————————
+
+fn scenario_engine_counts() {
+    let counter: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
+    struct Fwd(&'static CountHandler);
+    impl SyscallHandler for Fwd {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            self.0.handle(ev)
+        }
+    }
+    interpose::set_global_handler(Box::new(Fwd(counter)));
+    let engine = lazypoline::init(Config::default()).expect("init");
+
+    for _ in 0..50 {
+        let _ = std::fs::metadata("/tmp");
+    }
+    let tmp = std::env::temp_dir().join(format!("lp-native-{}", std::process::id()));
+    std::fs::write(&tmp, b"roundtrip").unwrap();
+    let back = std::fs::read(&tmp).unwrap();
+    std::fs::remove_file(&tmp).unwrap();
+    assert_eq!(back, b"roundtrip");
+
+    engine.unenroll_current_thread();
+    let stats = engine.stats();
+    assert!(stats.sites_patched >= 3, "{stats:?}");
+    assert!(stats.dispatches > stats.slow_path_hits, "{stats:?}");
+    assert!(
+        counter.count(syscalls::nr::STATX) >= 50
+            || counter.count(syscalls::nr::NEWFSTATAT) >= 50,
+        "metadata syscalls uncounted"
+    );
+}
+
+fn scenario_signals() {
+    static HANDLER_RAN: AtomicU64 = AtomicU64::new(0);
+    static SEEN_KILL: AtomicU64 = AtomicU64::new(0);
+
+    struct Spy;
+    impl SyscallHandler for Spy {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            if ev.call.nr == syscalls::nr::TGKILL || ev.call.nr == syscalls::nr::KILL {
+                SEEN_KILL.fetch_add(1, Ordering::SeqCst);
+            }
+            Action::Passthrough
+        }
+    }
+
+    extern "C" fn on_usr1(_sig: libc::c_int) {
+        // Handler performs syscalls of its own — they must be
+        // interposed too (paper Fig. 3 step ②).
+        let _ = std::fs::metadata("/proc/self");
+        HANDLER_RAN.fetch_add(1, Ordering::SeqCst);
+    }
+
+    interpose::set_global_handler(Box::new(Spy));
+    let engine = lazypoline::init(Config::default()).expect("init");
+
+    unsafe {
+        // Register through libc (this rt_sigaction is itself
+        // interposed and wrapped).
+        let mut sa: libc::sigaction = std::mem::zeroed();
+        sa.sa_sigaction = on_usr1 as *const () as usize;
+        sa.sa_flags = 0;
+        assert_eq!(libc::sigaction(libc::SIGUSR1, &sa, std::ptr::null_mut()), 0);
+
+        // Query must transparently report the app handler, not the
+        // wrapper.
+        let mut q: libc::sigaction = std::mem::zeroed();
+        assert_eq!(libc::sigaction(libc::SIGUSR1, std::ptr::null(), &mut q), 0);
+        assert_eq!(q.sa_sigaction, on_usr1 as *const () as usize);
+
+        for _ in 0..5 {
+            libc::raise(libc::SIGUSR1);
+        }
+    }
+    assert_eq!(HANDLER_RAN.load(Ordering::SeqCst), 5);
+    // After each delivery the selector must be live again: new syscall
+    // sites still get discovered.
+    let pre = engine.stats().signals_wrapped;
+    assert!(pre >= 5, "wrapped {pre}");
+    assert!(sud::selector() == sud::Dispatch::Block, "selector lost");
+
+    // The raise() syscalls themselves were observed.
+    assert!(SEEN_KILL.load(Ordering::SeqCst) >= 1);
+    engine.unenroll_current_thread();
+}
+
+fn scenario_threads() {
+    let counter: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
+    struct Fwd(&'static CountHandler);
+    impl SyscallHandler for Fwd {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            self.0.handle(ev)
+        }
+    }
+    interpose::set_global_handler(Box::new(Fwd(counter)));
+    let engine = lazypoline::init(Config::default()).expect("init");
+
+    // Threads created *after* enrollment are enrolled via the clone
+    // shim (paper §IV-B(a)).
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let p = std::env::temp_dir().join(format!("lp-thread-{i}-{}", std::process::id()));
+                for _ in 0..25 {
+                    std::fs::write(&p, b"x").unwrap();
+                    let _ = std::fs::read(&p).unwrap();
+                }
+                std::fs::remove_file(&p).unwrap();
+                std::process::id()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), std::process::id());
+    }
+    engine.unenroll_current_thread();
+    // 4 threads × 25 writes must all have been observed.
+    assert!(
+        counter.count(syscalls::nr::WRITE) >= 100,
+        "writes observed: {}",
+        counter.count(syscalls::nr::WRITE)
+    );
+    assert!(counter.count(syscalls::nr::UNLINK) + counter.count(syscalls::nr::UNLINKAT) >= 4);
+}
+
+fn scenario_fork() {
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    unsafe {
+        let pid = libc::fork();
+        assert!(pid >= 0);
+        if pid == 0 {
+            // Child: still interposed (re-enrolled); do some work.
+            let before = lazypoline::stats().dispatches;
+            let _ = std::fs::metadata("/tmp");
+            let after = lazypoline::stats().dispatches;
+            libc::_exit(if after > before { 33 } else { 1 });
+        }
+        let mut status = 0;
+        libc::waitpid(pid, &mut status, 0);
+        assert!(libc::WIFEXITED(status));
+        assert_eq!(libc::WEXITSTATUS(status), 33, "child was not interposed");
+    }
+    engine.unenroll_current_thread();
+}
+
+fn scenario_sud_only() {
+    // lazy_rewriting = false: a pure SUD interposer. Everything still
+    // works, nothing is patched.
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config {
+        lazy_rewriting: false,
+        ..Config::default()
+    })
+    .expect("init");
+    let tmp = std::env::temp_dir().join(format!("lp-sudonly-{}", std::process::id()));
+    std::fs::write(&tmp, b"pure sud").unwrap();
+    assert_eq!(std::fs::read(&tmp).unwrap(), b"pure sud");
+    std::fs::remove_file(&tmp).unwrap();
+    engine.unenroll_current_thread();
+    let stats = engine.stats();
+    assert_eq!(stats.sites_patched, 0, "{stats:?}");
+    assert!(stats.unpatchable_emulations >= 5, "{stats:?}");
+    assert!(stats.slow_path_hits >= 5, "{stats:?}");
+}
+
+fn scenario_xstate() {
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config {
+        xstate: XstateMask::Avx,
+        ..Config::default()
+    })
+    .expect("init");
+    // Interposed getpid with a live xmm sentinel (the Listing 1
+    // pattern) — via the *slow path first*, then the fast path.
+    for round in 0..3u64 {
+        let sentinel = 0xfeed_0000_0000_0000u64 | round;
+        let after: u64;
+        let pid: u64;
+        unsafe {
+            std::arch::asm!(
+                "movq xmm9, {sent}",
+                "mov eax, 39",
+                "syscall",
+                "movq {after}, xmm9",
+                sent = in(reg) sentinel,
+                after = out(reg) after,
+                out("rax") pid,
+                out("rcx") _, out("r11") _,
+                in("rdi") 0u64, in("rsi") 0u64, in("rdx") 0u64,
+                in("r10") 0u64, in("r8") 0u64, in("r9") 0u64,
+            );
+        }
+        assert_eq!(pid, std::process::id() as u64, "round {round}");
+        assert_eq!(after, sentinel, "xmm9 clobbered in round {round}");
+    }
+    engine.unenroll_current_thread();
+    assert!(engine.stats().sites_patched >= 1);
+}
+
+fn scenario_rewrite_stress() {
+    // Many threads hammering overlapping syscall sites: the rewrite
+    // spinlock and already-patched race handling must hold up.
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                for j in 0..50 {
+                    let p = std::env::temp_dir()
+                        .join(format!("lp-stress-{i}-{}", std::process::id()));
+                    std::fs::write(&p, format!("{j}")).unwrap();
+                    let s = std::fs::read_to_string(&p).unwrap();
+                    assert_eq!(s, format!("{j}"));
+                    std::fs::remove_file(&p).unwrap();
+                    let _ = std::fs::metadata("/tmp");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    engine.unenroll_current_thread();
+    let stats = engine.stats();
+    assert!(stats.dispatches >= 1000, "{stats:?}");
+}
+
+fn scenario_policy_native() {
+    let policy = PolicyBuilder::allow_by_default()
+        .deny(syscalls::nr::SOCKET)
+        .build();
+    interpose::set_global_handler(Box::new(policy));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    let denied = std::net::TcpStream::connect("127.0.0.1:1").is_err();
+    let allowed = std::fs::metadata("/tmp").is_ok();
+    engine.unenroll_current_thread();
+    assert!(denied && allowed);
+}
+
+fn scenario_post_rewrite() {
+    // The post hook can rewrite results — here getpid is shifted by 7.
+    struct Shift;
+    impl SyscallHandler for Shift {
+        fn handle(&self, _ev: &mut SyscallEvent) -> Action {
+            Action::Passthrough
+        }
+        fn post(&self, ev: &SyscallEvent, ret: u64) -> u64 {
+            if ev.call.nr == syscalls::nr::GETPID {
+                ret + 7
+            } else {
+                ret
+            }
+        }
+    }
+    // Reference taken *before* interposition: once a site is patched
+    // it keeps dispatching even after unenroll (one-way by design), so
+    // a post-unenroll getpid would be rewritten too.
+    let real = std::process::id() as u64;
+    interpose::set_global_handler(Box::new(Shift));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    let seen = unsafe { libc::getpid() } as u64;
+    engine.unenroll_current_thread();
+    assert_eq!(seen, real + 7, "post hook did not rewrite the result");
+}
+
+fn scenario_latency_histogram() {
+    let h: &'static interpose::LatencyHandler =
+        Box::leak(Box::new(interpose::LatencyHandler::new()));
+    struct Fwd(&'static interpose::LatencyHandler);
+    impl SyscallHandler for Fwd {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            self.0.handle(ev)
+        }
+        fn post(&self, ev: &SyscallEvent, ret: u64) -> u64 {
+            self.0.post(ev, ret)
+        }
+    }
+    interpose::set_global_handler(Box::new(Fwd(h)));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    for _ in 0..200 {
+        let _ = std::fs::metadata("/tmp");
+    }
+    engine.unenroll_current_thread();
+    assert!(h.samples() >= 200, "samples {}", h.samples());
+    let median = h.approx_median().unwrap();
+    assert!(median > 16, "implausible syscall latency {median}");
+}
+
+fn scenario_sigprocmask_guard() {
+    // An application blocking "all" signals must not be able to stall
+    // interposition: the dispatcher strips SIGSYS from every mask.
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    unsafe {
+        let mut all: libc::sigset_t = std::mem::zeroed();
+        libc::sigfillset(&mut all);
+        assert_eq!(
+            libc::pthread_sigmask(libc::SIG_BLOCK, &all, std::ptr::null_mut()),
+            0
+        );
+        // A brand-new syscall site (distinct asm) must still be
+        // discovered through SIGSYS even though the app asked for a
+        // full block.
+        let before = lazypoline::stats().slow_path_hits;
+        let pid: u64;
+        std::arch::asm!(
+            "mov eax, 39",
+            "syscall",
+            out("rax") pid,
+            out("rcx") _, out("r11") _,
+            in("rdi") 0u64, in("rsi") 0u64, in("rdx") 0u64,
+            in("r10") 0u64, in("r8") 0u64, in("r9") 0u64,
+        );
+        let after = lazypoline::stats().slow_path_hits;
+        assert_eq!(pid, std::process::id() as u64);
+        assert!(after > before, "slow path stalled by sigprocmask");
+        // And SIGSYS is indeed not blocked in the resulting mask.
+        let mut cur: libc::sigset_t = std::mem::zeroed();
+        libc::pthread_sigmask(libc::SIG_BLOCK, std::ptr::null(), &mut cur);
+        assert_eq!(libc::sigismember(&cur, libc::SIGSYS), 0);
+        assert_eq!(libc::sigismember(&cur, libc::SIGUSR2), 1);
+        let mut none: libc::sigset_t = std::mem::zeroed();
+        libc::sigemptyset(&mut none);
+        libc::pthread_sigmask(libc::SIG_SETMASK, &none, std::ptr::null_mut());
+    }
+    engine.unenroll_current_thread();
+}
+
+fn scenario_nested_signals() {
+    static OUTER: AtomicU64 = AtomicU64::new(0);
+    static INNER: AtomicU64 = AtomicU64::new(0);
+
+    extern "C" fn on_usr2(_sig: libc::c_int) {
+        INNER.fetch_add(1, Ordering::SeqCst);
+        let _ = std::fs::metadata("/proc/self/status");
+    }
+    extern "C" fn on_usr1(_sig: libc::c_int) {
+        OUTER.fetch_add(1, Ordering::SeqCst);
+        unsafe { libc::raise(libc::SIGUSR2) };
+        // More interposed work after the nested delivery returned.
+        let _ = std::fs::metadata("/proc/self");
+    }
+
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    unsafe {
+        let mut sa: libc::sigaction = std::mem::zeroed();
+        sa.sa_sigaction = on_usr1 as *const () as usize;
+        libc::sigaction(libc::SIGUSR1, &sa, std::ptr::null_mut());
+        let mut sa2: libc::sigaction = std::mem::zeroed();
+        sa2.sa_sigaction = on_usr2 as *const () as usize;
+        libc::sigaction(libc::SIGUSR2, &sa2, std::ptr::null_mut());
+        for _ in 0..3 {
+            libc::raise(libc::SIGUSR1);
+        }
+    }
+    assert_eq!(OUTER.load(Ordering::SeqCst), 3);
+    assert_eq!(INNER.load(Ordering::SeqCst), 3);
+    assert_eq!(sud::selector(), sud::Dispatch::Block, "selector lost");
+    let wrapped = lazypoline::stats().signals_wrapped;
+    assert!(wrapped >= 6, "wrapped {wrapped}");
+    engine.unenroll_current_thread();
+    // Still fully functional afterwards.
+    assert!(std::fs::metadata("/tmp").is_ok());
+}
+
+fn scenario_path_remap() {
+    // Deep pointer inspection + rewriting: redirect a well-known path
+    // to a file we control — the expressiveness seccomp-bpf cannot
+    // provide (paper §II-A: "does not allow … dereferencing pointers").
+    let decoy = std::env::temp_dir().join(format!("lp-decoy-{}", std::process::id()));
+    std::fs::write(&decoy, b"remapped contents\n").unwrap();
+    let remap = interpose::PathRemapHandler::new()
+        .rule("/etc/hostname", decoy.to_str().unwrap());
+    interpose::set_global_handler(Box::new(remap));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    let seen = std::fs::read_to_string("/etc/hostname").unwrap();
+    let untouched = std::fs::read_to_string("/proc/self/comm").unwrap();
+    engine.unenroll_current_thread();
+    std::fs::remove_file(&decoy).unwrap();
+    assert_eq!(seen, "remapped contents\n", "open was not redirected");
+    assert!(!untouched.is_empty(), "unrelated opens broke");
+}
+
+// ——— harness ————————————————————————————————————————————————————————
+
+const SCENARIOS: &[(&str, fn())] = &[
+    ("engine_counts", scenario_engine_counts),
+    ("signals", scenario_signals),
+    ("threads", scenario_threads),
+    ("fork", scenario_fork),
+    ("sud_only", scenario_sud_only),
+    ("xstate", scenario_xstate),
+    ("rewrite_stress", scenario_rewrite_stress),
+    ("policy_native", scenario_policy_native),
+    ("post_rewrite", scenario_post_rewrite),
+    ("latency_histogram", scenario_latency_histogram),
+    ("sigprocmask_guard", scenario_sigprocmask_guard),
+    ("nested_signals", scenario_nested_signals),
+    ("path_remap", scenario_path_remap),
+];
+
+fn main() {
+    if let Ok(name) = std::env::var("LP_SCENARIO") {
+        let (_, f) = SCENARIOS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("unknown scenario {name}"));
+        f();
+        println!("scenario {name}: ok");
+        return;
+    }
+
+    if !environment_ready() {
+        println!("native_engine: SKIPPED (needs SUD + vm.mmap_min_addr=0)");
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("self path");
+    let mut failed = Vec::new();
+    for (name, _) in SCENARIOS {
+        let status = Command::new(&exe)
+            .env("LP_SCENARIO", name)
+            .status()
+            .expect("spawn scenario");
+        if status.success() {
+            println!("native_engine::{name} ... ok");
+        } else {
+            println!("native_engine::{name} ... FAILED ({status})");
+            failed.push(*name);
+        }
+    }
+    if !failed.is_empty() {
+        panic!("failed scenarios: {failed:?}");
+    }
+    println!("native_engine: {} scenarios passed", SCENARIOS.len());
+}

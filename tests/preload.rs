@@ -1,0 +1,103 @@
+//! End-to-end test of the LD_PRELOAD deployment: run real, unmodified
+//! binaries under `liblazypoline_preload.so` and verify interposition
+//! happened.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn preload_so() -> Option<PathBuf> {
+    // target/<profile>/deps/../liblazypoline_preload.so — walk up from
+    // this test binary.
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop(); // test binary name
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let so = dir.join("liblazypoline_preload.so");
+    so.exists().then_some(so)
+}
+
+fn environment_ready() -> bool {
+    zpoline::Trampoline::environment_supported() && sud::is_supported()
+}
+
+#[test]
+fn ls_runs_under_preload_with_stats() {
+    if !environment_ready() {
+        eprintln!("skipping: needs SUD + vm.mmap_min_addr=0");
+        return;
+    }
+    let Some(so) = preload_so() else {
+        eprintln!("skipping: liblazypoline_preload.so not built");
+        return;
+    };
+    let out = Command::new("/bin/ls")
+        .arg("/")
+        .env("LD_PRELOAD", &so)
+        .env("LAZYPOLINE_MODE", "count")
+        .env("LAZYPOLINE_STATS", "1")
+        .output()
+        .expect("run ls");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tmp"), "ls output wrong: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("sites lazily rewritten"),
+        "stats missing: {stderr}"
+    );
+    // At least one site must have been rewritten and dispatched.
+    let patched: u64 = stderr
+        .lines()
+        .find(|l| l.contains("sites lazily rewritten"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    assert!(patched >= 1, "no lazy rewriting happened:\n{stderr}");
+}
+
+#[test]
+fn trace_mode_emits_syscall_lines() {
+    if !environment_ready() {
+        eprintln!("skipping: needs SUD + vm.mmap_min_addr=0");
+        return;
+    }
+    let Some(so) = preload_so() else {
+        eprintln!("skipping: liblazypoline_preload.so not built");
+        return;
+    };
+    let out = Command::new("/bin/true")
+        .env("LD_PRELOAD", &so)
+        .env("LAZYPOLINE_MODE", "trace")
+        .output()
+        .expect("run true");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("exit_group("),
+        "no exit_group traced: {stderr}"
+    );
+}
+
+#[test]
+fn xstate_none_mode_still_works_for_coreutils() {
+    if !environment_ready() {
+        eprintln!("skipping: needs SUD + vm.mmap_min_addr=0");
+        return;
+    }
+    let Some(so) = preload_so() else {
+        eprintln!("skipping: liblazypoline_preload.so not built");
+        return;
+    };
+    // Table III says coreutils on glibc *can* expect xmm preservation;
+    // whether `cat` on this host's libc does is build-dependent — this
+    // asserts only that the no-xstate configuration is functional.
+    let out = Command::new("/bin/cat")
+        .arg("/proc/self/cmdline")
+        .env("LD_PRELOAD", &so)
+        .env("LAZYPOLINE_XSTATE", "none")
+        .output()
+        .expect("run cat");
+    assert!(out.status.success(), "{out:?}");
+    assert!(!out.stdout.is_empty());
+}
