@@ -4,13 +4,22 @@
 //! zpoline-equivalent rewriting cost, the cost of *enabling* SUD (the
 //! exhaustiveness guarantee), and the cost of preserving extended
 //! state. Derived from the same measurements as Table II, exactly as
-//! in the paper.
+//! in the paper. `--json` additionally writes `BENCH_fig4.json`.
 
+use lp_bench::json::Json;
 use lp_bench::micro;
 
 fn main() {
+    let json_mode = std::env::args().any(|a| a == "--json");
     if !micro::environment_supported() {
         eprintln!("skip: needs SUD and vm.mmap_min_addr = 0");
+        if json_mode {
+            let root = Json::obj()
+                .field("bench", Json::Str("fig4".into()))
+                .field("native_supported", Json::Bool(false));
+            std::fs::write("BENCH_fig4.json", root.render()).expect("write BENCH_fig4.json");
+            println!("wrote BENCH_fig4.json");
+        }
         return;
     }
     let r = micro::run_table2();
@@ -46,4 +55,30 @@ fn main() {
          here {:.0}% of total overhead)",
         100.0 * seg_xstate / (total - base)
     );
+
+    if json_mode {
+        let root = Json::obj()
+            .field("bench", Json::Str("fig4".into()))
+            .field("native_supported", Json::Bool(true))
+            .field("iters", Json::Int(r.iters))
+            .field("runs", Json::Int(r.runs))
+            .field(
+                "segments_cycles",
+                Json::obj()
+                    .field("bare_syscall", Json::Num(seg_syscall))
+                    .field("rewriting", Json::Num(seg_zpoline))
+                    .field("enabling_sud", Json::Num(seg_sud))
+                    .field("xstate_preservation", Json::Num(seg_xstate))
+                    .field("total", Json::Num(total)),
+            )
+            .field(
+                "vs_baseline",
+                Json::obj()
+                    .field("zpoline", Json::Num(zp / base))
+                    .field("lazypoline_no_xstate", Json::Num(nox / base))
+                    .field("lazypoline", Json::Num(full / base)),
+            );
+        std::fs::write("BENCH_fig4.json", root.render()).expect("write BENCH_fig4.json");
+        println!("\nwrote BENCH_fig4.json");
+    }
 }

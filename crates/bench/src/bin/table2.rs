@@ -1,11 +1,19 @@
 //! Regenerates **Table II**: microbenchmarking overhead compared to
-//! baseline (native, on this host's real kernel).
+//! baseline (native, on this host's real kernel), plus the
+//! dispatch-cost optimization measurements (syscall-interest filtering
+//! and batch rewriting).
 //!
 //! ```sh
 //! cargo run -p lp-bench --bin table2 --release
 //! LP_BENCH_ITERS=2000000 LP_BENCH_RUNS=10 cargo run -p lp-bench --bin table2 --release
+//! cargo run -p lp-bench --bin table2 --release -- --json   # also writes BENCH_table2.json
 //! ```
+//!
+//! The Table II rows need SUD and a mappable page zero; the
+//! interest-filter dispatch comparison runs on any host (the filter
+//! lives entirely in the dispatcher's decision sequence).
 
+use lp_bench::json::Json;
 use lp_bench::micro;
 use lp_bench::report::Table;
 
@@ -19,41 +27,140 @@ const PAPER: &[(&str, f64)] = &[
 ];
 
 fn main() {
-    if !micro::environment_supported() {
+    let json_mode = std::env::args().any(|a| a == "--json");
+    let native = micro::environment_supported();
+
+    let results = if native {
+        Some(micro::run_table2())
+    } else {
         eprintln!(
             "skip: this host cannot run the native microbenchmark \
              (needs Linux >= 5.11 SUD and vm.mmap_min_addr = 0)"
         );
-        return;
+        None
+    };
+
+    if let Some(results) = &results {
+        println!(
+            "Table II — microbenchmark overhead vs baseline (syscall 500 x {} iters, {} runs)\n",
+            results.iters, results.runs
+        );
+        let mut table = Table::new(["Configuration", "measured", "paper", "cycles/call", "σ%"]);
+        let mut max_sd: f64 = results.baseline.stddev_pct();
+        for (name, ratio, sd) in results.rows() {
+            let paper = PAPER
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| format!("{v:.2}x"))
+                .unwrap_or_default();
+            let cycles = ratio * results.baseline.cycles();
+            table.row([
+                name.to_string(),
+                format!("{ratio:.2}x"),
+                paper,
+                format!("{cycles:.0}"),
+                format!("{sd:.2}"),
+            ]);
+            max_sd = max_sd.max(sd);
+        }
+        print!("{}", table.render());
+        println!(
+            "\nbaseline: {:.0} cycles/call; max relative stddev {:.2}%",
+            results.baseline.cycles(),
+            max_sd
+        );
+        println!("(paper: Xeon Gold 5318S @2.1GHz, Linux 5.15; this host differs — compare shapes, not absolutes)");
     }
-    let results = micro::run_table2();
+
+    // Interest-filter dispatch cost: runs everywhere.
+    let dispatch = micro::run_dispatch_cost();
+    let all = dispatch.all_syscalls.cycles();
+    let filtered = dispatch.interest_filtered.cycles();
+    println!("\nDispatch-cost optimization — syscall-interest filtering ({} iters, {} runs):\n",
+        dispatch.iters, dispatch.runs);
+    let mut t = Table::new(["handler", "cycles/dispatch", "σ%"]);
+    t.row([
+        dispatch.all_syscalls.name.to_string(),
+        format!("{all:.0}"),
+        format!("{:.2}", dispatch.all_syscalls.stddev_pct()),
+    ]);
+    t.row([
+        dispatch.interest_filtered.name.to_string(),
+        format!("{filtered:.0}"),
+        format!("{:.2}", dispatch.interest_filtered.stddev_pct()),
+    ]);
+    print!("{}", t.render());
     println!(
-        "Table II — microbenchmark overhead vs baseline (syscall 500 x {} iters, {} runs)\n",
-        results.iters, results.runs
+        "\ninterest filtering saves {:.0} cycles/dispatch ({:.2}x) for handlers with precise sets",
+        all - filtered,
+        all / filtered
     );
-    let mut table = Table::new(["Configuration", "measured", "paper", "cycles/call", "σ%"]);
-    let mut max_sd: f64 = results.baseline.stddev_pct();
-    for (name, ratio, sd) in results.rows() {
-        let paper = PAPER
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, v)| format!("{v:.2}x"))
-            .unwrap_or_default();
-        let cycles = ratio * results.baseline.cycles();
-        table.row([
-            name.to_string(),
-            format!("{ratio:.2}x"),
-            paper,
-            format!("{cycles:.0}"),
-            format!("{sd:.2}"),
-        ]);
-        max_sd = max_sd.max(sd);
+
+    // Batch rewriting (needs the native machinery).
+    let batch = results.as_ref().map(|_| micro::run_batch_ablation());
+    if let Some(b) = &batch {
+        println!(
+            "\nBatch rewriting — {} fresh sites on one page: {} SIGSYS batched vs {} unbatched",
+            b.sites, b.batched.slow_path_hits, b.unbatched.slow_path_hits
+        );
     }
-    print!("{}", table.render());
-    println!(
-        "\nbaseline: {:.0} cycles/call; max relative stddev {:.2}%",
-        results.baseline.cycles(),
-        max_sd
-    );
-    println!("(paper: Xeon Gold 5318S @2.1GHz, Linux 5.15; this host differs — compare shapes, not absolutes)");
+
+    if json_mode {
+        let mut root = Json::obj()
+            .field("bench", Json::Str("table2".into()))
+            .field("native_supported", Json::Bool(native));
+        if let Some(results) = &results {
+            let mut rows = vec![Json::obj()
+                .field("name", Json::Str("baseline".into()))
+                .field("cycles_per_call", Json::Num(results.baseline.cycles()))
+                .field("vs_baseline", Json::Num(1.0))
+                .field("stddev_pct", Json::Num(results.baseline.stddev_pct()))];
+            for (name, ratio, sd) in results.rows() {
+                rows.push(
+                    Json::obj()
+                        .field("name", Json::Str(name.into()))
+                        .field(
+                            "cycles_per_call",
+                            Json::Num(ratio * results.baseline.cycles()),
+                        )
+                        .field("vs_baseline", Json::Num(ratio))
+                        .field("stddev_pct", Json::Num(sd)),
+                );
+            }
+            root = root
+                .field("iters", Json::Int(results.iters))
+                .field("runs", Json::Int(results.runs))
+                .field("rows", Json::Arr(rows));
+        }
+        root = root.field(
+            "interest_dispatch",
+            Json::obj()
+                .field("iters", Json::Int(dispatch.iters))
+                .field("runs", Json::Int(dispatch.runs))
+                .field("all_syscalls_cycles", Json::Num(all))
+                .field("interest_filtered_cycles", Json::Num(filtered))
+                .field("speedup", Json::Num(all / filtered)),
+        );
+        if let Some(b) = &batch {
+            root = root.field(
+                "batch_rewriting",
+                Json::obj()
+                    .field("sites", Json::Int(b.sites as u64))
+                    .field(
+                        "batched",
+                        Json::obj()
+                            .field("slow_path_hits", Json::Int(b.batched.slow_path_hits))
+                            .field("sites_patched", Json::Int(b.batched.sites_patched)),
+                    )
+                    .field(
+                        "unbatched",
+                        Json::obj()
+                            .field("slow_path_hits", Json::Int(b.unbatched.slow_path_hits))
+                            .field("sites_patched", Json::Int(b.unbatched.sites_patched)),
+                    ),
+            );
+        }
+        std::fs::write("BENCH_table2.json", root.render()).expect("write BENCH_table2.json");
+        println!("\nwrote BENCH_table2.json");
+    }
 }

@@ -16,6 +16,7 @@
 
 #![deny(missing_docs)]
 
+pub mod json;
 pub mod macrobench;
 pub mod micro;
 pub mod report;

@@ -249,6 +249,200 @@ pub fn run_table2() -> MicroResults {
     }
 }
 
+/// Dispatch-cost comparison isolating the syscall-interest filter
+/// (see [`run_dispatch_cost`]).
+#[derive(Clone, Debug)]
+pub struct DispatchCost {
+    /// Iterations per run.
+    pub iters: u64,
+    /// Runs per configuration.
+    pub runs: u64,
+    /// Dispatch cost with an all-syscalls handler installed
+    /// ([`interpose::CountHandler`] — event built and virtually
+    /// dispatched on every call).
+    pub all_syscalls: Measurement,
+    /// Dispatch cost with a precisely scoped handler (a
+    /// [`interpose::PolicyBuilder`] policy touching only `openat`):
+    /// the benchmark syscall fails the interest word test and executes
+    /// raw.
+    pub interest_filtered: Measurement,
+}
+
+/// One iteration of the dispatcher's interest-gated hot-path decision
+/// sequence: one relaxed interest-word load + bit test, then either
+/// the full event/virtual-call/post machinery or the raw syscall.
+/// This is the code `lazypoline_dispatch` runs after frame capture,
+/// reproduced over the public `interpose` API so the comparison runs
+/// on hosts without page zero or SUD.
+#[inline(never)]
+fn loop_interest_dispatch(iters: u64) {
+    use interpose::Action;
+    let args = syscalls::SyscallArgs::nullary(syscalls::NONEXISTENT_SYSCALL);
+    for _ in 0..iters {
+        let ret = if interpose::global_interested(args.nr) {
+            let mut ev = interpose::SyscallEvent::new(args);
+            match interpose::dispatch_global(&mut ev) {
+                Action::Passthrough => {
+                    // SAFETY: syscall 500 does not exist; the kernel
+                    // returns ENOSYS without touching memory.
+                    let r = unsafe { syscalls::raw::syscall(ev.call) };
+                    interpose::post_global(&ev, r)
+                }
+                Action::Return(v) => v,
+                Action::Fail(e) => e.as_ret(),
+            }
+        } else {
+            // SAFETY: as above.
+            unsafe { syscalls::raw::syscall(args) }
+        };
+        std::hint::black_box(ret);
+    }
+}
+
+/// Measures the per-syscall dispatch cost with an all-syscalls handler
+/// vs an interest-scoped one (tentpole: syscall-interest filtering).
+/// Runs on any host — no SUD, no page zero: the filter's effect lives
+/// entirely in the dispatcher's decision sequence.
+pub fn run_dispatch_cost() -> DispatchCost {
+    let iters = env_u64("LP_BENCH_ITERS", 200_000).max(1);
+    let runs = env_u64("LP_BENCH_RUNS", 10).max(1);
+
+    interpose::set_global_handler(Box::new(interpose::CountHandler::new()));
+    let all_syscalls = measure(
+        "dispatch, all-syscalls handler",
+        loop_interest_dispatch,
+        iters,
+        runs,
+    );
+
+    // A policy that only cares about openat: syscall 500 fails the
+    // interest test, so the dispatch loop takes the raw-syscall arm.
+    let policy = interpose::PolicyBuilder::allow_by_default()
+        .deny(syscalls::nr::OPENAT)
+        .build();
+    interpose::set_global_handler(Box::new(policy));
+    let interest_filtered = measure(
+        "dispatch, PolicyHandler scoped to openat",
+        loop_interest_dispatch,
+        iters,
+        runs,
+    );
+
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    DispatchCost {
+        iters,
+        runs,
+        all_syscalls,
+        interest_filtered,
+    }
+}
+
+/// Counter deltas from executing a page of fresh syscall sites under
+/// one batch-rewriting setting (see [`run_batch_ablation`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPhase {
+    /// `SIGSYS` deliveries taken while running every site once.
+    pub slow_path_hits: u64,
+    /// Sites rewritten to `call rax` (batching patches neighbours too).
+    pub sites_patched: u64,
+}
+
+/// The page-granular batch-rewriting ablation: `sites` fresh syscall
+/// sites on one page, executed once each, with batching on vs off.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchAblation {
+    /// Distinct syscall sites emitted on the JIT page.
+    pub sites: usize,
+    /// Deltas with `Config::batch_rewriting = true` (one `SIGSYS`
+    /// should sweep the whole page).
+    pub batched: BatchPhase,
+    /// Deltas with batching off (one `SIGSYS` per site).
+    pub unbatched: BatchPhase,
+}
+
+/// Emits `count` tiny functions (`mov eax, GETPID; syscall; ret`) at
+/// 64-byte intervals on a fresh RWX page, `ret`-padded so a linear
+/// sweep stays synchronized; returns the page base.
+unsafe fn emit_getpid_page(count: usize) -> *mut u8 {
+    assert!(count * 64 <= 4096);
+    let page = libc::mmap(
+        std::ptr::null_mut(),
+        4096,
+        libc::PROT_READ | libc::PROT_WRITE | libc::PROT_EXEC,
+        libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+        -1,
+        0,
+    );
+    assert_ne!(page, libc::MAP_FAILED, "mmap RWX page");
+    let p = page as *mut u8;
+    std::ptr::write_bytes(p, 0xc3, 4096);
+    for i in 0..count {
+        let code: [u8; 8] = [
+            0xb8,
+            syscalls::nr::GETPID as u8,
+            0,
+            0,
+            0, // mov eax, 39
+            0x0f,
+            0x05, // syscall
+            0xc3, // ret
+        ];
+        std::ptr::copy_nonoverlapping(code.as_ptr(), p.add(i * 64), code.len());
+    }
+    p
+}
+
+fn batch_phase(batch: bool, sites: usize) -> BatchPhase {
+    // init() is idempotent for the process-global machinery but stores
+    // the batching switch on every call, so the same process can
+    // measure both settings back to back.
+    let engine = lazypoline::init(Config {
+        batch_rewriting: batch,
+        ..Config::default()
+    })
+    .expect("lazypoline init");
+    let (slow, patched);
+    unsafe {
+        let p = emit_getpid_page(sites);
+        // Resolve the expected pid before the measurement window so
+        // libc's own getpid syscall site cannot contribute its SIGSYS
+        // to the deltas.
+        let pid = libc::getpid() as u64;
+        let before = lazypoline::stats();
+        for i in 0..sites {
+            let f: extern "C" fn() -> u64 = std::mem::transmute(p.add(i * 64));
+            assert_eq!(f(), pid, "JIT site {i}");
+        }
+        let after = lazypoline::stats();
+        slow = after.slow_path_hits - before.slow_path_hits;
+        patched = after.sites_patched - before.sites_patched;
+        libc::munmap(p as *mut _, 4096);
+    }
+    engine.unenroll_current_thread();
+    BatchPhase {
+        slow_path_hits: slow,
+        sites_patched: patched,
+    }
+}
+
+/// Runs the batch-rewriting ablation (multi-site discovery workload).
+///
+/// # Panics
+///
+/// Panics if the environment lacks SUD or page-zero mapping — call
+/// [`environment_supported`] first.
+pub fn run_batch_ablation() -> BatchAblation {
+    assert!(environment_supported(), "SUD or page-zero unavailable");
+    let sites = env_u64("LP_BENCH_BATCH_SITES", 16).clamp(1, 64) as usize;
+    let unbatched = batch_phase(false, sites);
+    let batched = batch_phase(true, sites);
+    BatchAblation {
+        sites,
+        batched,
+        unbatched,
+    }
+}
+
 /// Measures the fast path under every [`XstateMask`] level — the
 /// tuning space of the paper's configurable preservation option
 /// (§IV-B(b)). Requires the engine to be live and the fast site primed

@@ -1,0 +1,213 @@
+//! Vendored, minimal benchmark harness exposing the subset of the
+//! `criterion` crate API this workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this path dependency under the name `criterion`. It keeps
+//! the same bench-authoring surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, `bench_function`, groups,
+//! `Throughput`) and implements a plain warmup-then-measure loop with
+//! mean/min timings printed per benchmark — no statistics machinery,
+//! no plotting, no CLI filtering.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-element/byte normalization for group reports.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The measured iteration processes this many logical elements.
+    Elements(u64),
+    /// The measured iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Timing harness configuration + runner.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warmup duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many samples to take within the measurement budget.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_bench(self, id, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (reports are already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call
+/// [`Bencher::iter`] with the code under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, tput: Option<Throughput>, mut f: F) {
+    // Calibration: find an iteration count that runs ≳ 1ms per sample.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    // Warmup.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < c.warm_up {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+    }
+
+    // Samples.
+    let budget_per_sample = c.measurement / c.sample_size as u32;
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut samples = 0u32;
+    for _ in 0..c.sample_size {
+        let sample_start = Instant::now();
+        let mut sample_iters = 0u64;
+        let mut sample_elapsed = Duration::ZERO;
+        while sample_start.elapsed() < budget_per_sample {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            sample_elapsed += b.elapsed;
+            sample_iters += b.iters;
+        }
+        if sample_iters == 0 {
+            continue;
+        }
+        let ns_per_iter = sample_elapsed.as_nanos() as f64 / sample_iters as f64;
+        best = best.min(ns_per_iter);
+        sum += ns_per_iter;
+        samples += 1;
+    }
+    let mean = if samples > 0 { sum / samples as f64 } else { 0.0 };
+
+    match tput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            let rate = n as f64 * 1e9 / mean;
+            println!("{id:<48} {mean:>12.1} ns/iter (min {best:.1}) {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            let rate = n as f64 * 1e9 / mean;
+            println!("{id:<48} {mean:>12.1} ns/iter (min {best:.1}) {rate:>14.0} B/s");
+        }
+        _ => println!("{id:<48} {mean:>12.1} ns/iter (min {best:.1})"),
+    }
+}
+
+/// Declares a group-runner function from configured targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,6 +1,6 @@
 //! Handler composition.
 
-use crate::{Action, SyscallEvent, SyscallHandler};
+use crate::{Action, InterestSet, SyscallEvent, SyscallHandler};
 
 /// Runs handlers in order; the first non-[`Action::Passthrough`] wins.
 ///
@@ -69,6 +69,17 @@ impl SyscallHandler for ChainHandler {
     fn name(&self) -> &str {
         "chain"
     }
+
+    /// Union of the children's sets: the chain must run whenever *any*
+    /// child wants the syscall. (Interest is keyed on the incoming
+    /// number, so a child that rewrites `nr` for its successors still
+    /// gets the chain invoked via its own membership.) An empty chain
+    /// is a passthrough and asks for nothing.
+    fn interest(&self) -> InterestSet {
+        self.handlers
+            .iter()
+            .fold(InterestSet::none(), |acc, h| acc.union(&h.interest()))
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +131,29 @@ mod tests {
             .push(Box::new(AddOne));
         let ev = SyscallEvent::new(SyscallArgs::nullary(nr::GETPID));
         assert_eq!(chain.post(&ev, 10), 12);
+    }
+
+    #[test]
+    fn interest_unions_children() {
+        use crate::FdRedirectHandler;
+        assert!(ChainHandler::new().interest().is_empty());
+
+        let chain = ChainHandler::new()
+            .push(Box::new(FdRedirectHandler::new(1, 7)))
+            .push(Box::new(
+                PolicyBuilder::allow_by_default().deny(nr::EXECVE).build(),
+            ));
+        let i = chain.interest();
+        assert!(i.contains(nr::WRITE), "from the redirect");
+        assert!(i.contains(nr::EXECVE), "from the policy");
+        assert!(!i.contains(nr::READ));
+
+        // Any all-syscalls child (CountHandler keeps the default)
+        // widens the chain to everything.
+        let wide = ChainHandler::new()
+            .push(Box::new(FdRedirectHandler::new(1, 7)))
+            .push(Box::new(CountHandler::new()));
+        assert!(wide.interest().is_all());
     }
 
     #[test]

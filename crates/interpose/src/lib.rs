@@ -25,6 +25,7 @@
 
 mod chain;
 mod count;
+mod interest;
 mod latency;
 mod policy;
 mod registry;
@@ -34,9 +35,12 @@ mod trace;
 
 pub use chain::ChainHandler;
 pub use count::CountHandler;
+pub use interest::InterestSet;
 pub use latency::{LatencyHandler, LATENCY_BUCKETS};
 pub use policy::{PolicyBuilder, PolicyHandler};
-pub use registry::{dispatch_global, global_handler, post_global, set_global_handler};
+pub use registry::{
+    dispatch_global, global_handler, global_interested, post_global, set_global_handler,
+};
 pub use remap::{PathRemapHandler, MAX_PATH};
 pub use rewrite::FdRedirectHandler;
 pub use trace::{format_syscall_line, TraceHandler, TraceSink};
@@ -116,6 +120,19 @@ pub trait SyscallHandler: Send + Sync {
     /// Human-readable name for reports and experiment tables.
     fn name(&self) -> &str {
         "handler"
+    }
+
+    /// The syscall numbers this handler wants delivered.
+    ///
+    /// Mechanisms consult this **once at registration time** (the set
+    /// is cached next to the handler pointer) and skip the handler —
+    /// no event construction, no virtual call, no post hook — for
+    /// numbers outside it. Handlers that inspect everything keep the
+    /// default; handlers scoped to specific syscalls (policies,
+    /// fd redirectors, path remappers) return a precise set so the
+    /// mechanism's fast path stays near raw-syscall cost for the rest.
+    fn interest(&self) -> InterestSet {
+        InterestSet::all()
     }
 }
 

@@ -6,7 +6,7 @@
 //! dereferences nothing but inspects arguments — deeper inspection is
 //! possible since the handler runs in-process).
 
-use crate::{Action, SyscallEvent, SyscallHandler};
+use crate::{Action, InterestSet, SyscallEvent, SyscallHandler};
 use syscalls::{Errno, MAX_SYSCALL_NR};
 
 /// Default verdicts for syscalls with no specific rule.
@@ -23,6 +23,9 @@ pub struct PolicyHandler {
     per_nr: Box<[Option<Verdict>]>,
     /// Deny `write`/`pwrite64` to fds ≥ this value, if set.
     max_write_fd: Option<u64>,
+    /// Precomputed in [`PolicyBuilder::build`]: exactly the syscalls
+    /// whose verdict could differ from "execute it raw".
+    interest: InterestSet,
 }
 
 impl std::fmt::Debug for PolicyHandler {
@@ -96,15 +99,47 @@ impl PolicyBuilder {
     /// Finalizes the policy.
     pub fn build(self) -> PolicyHandler {
         let mut per_nr: Vec<Option<Verdict>> = vec![None; MAX_SYSCALL_NR as usize];
-        for (nr, v) in self.rules {
+        for &(nr, v) in &self.rules {
             if let Some(slot) = per_nr.get_mut(nr as usize) {
                 *slot = Some(v);
             }
+        }
+        // The interest set is exact: a syscall the mechanism executes
+        // raw (skipping this handler) behaves identically to one this
+        // handler would wave through with `Action::Passthrough`. So
+        // under allow-by-default only the denied numbers matter; under
+        // deny-by-default everything matters *except* explicit allows.
+        let mut interest = match self.default {
+            Verdict::Allow => {
+                let mut s = InterestSet::none();
+                for (nr, v) in per_nr.iter().enumerate() {
+                    if matches!(v, Some(Verdict::Deny(_))) {
+                        s.insert(nr as u64);
+                    }
+                }
+                s
+            }
+            Verdict::Deny(_) => {
+                let mut s = InterestSet::all();
+                for (nr, v) in per_nr.iter().enumerate() {
+                    if matches!(v, Some(Verdict::Allow)) {
+                        s.remove(nr as u64);
+                    }
+                }
+                s
+            }
+        };
+        // The argument-level write rule needs to see writes even when
+        // the number-level verdict would be Allow.
+        if self.max_write_fd.is_some() {
+            interest.insert(syscalls::nr::WRITE);
+            interest.insert(syscalls::nr::PWRITE64);
         }
         PolicyHandler {
             default: self.default,
             per_nr: per_nr.into_boxed_slice(),
             max_write_fd: self.max_write_fd,
+            interest,
         }
     }
 }
@@ -140,6 +175,10 @@ impl SyscallHandler for PolicyHandler {
 
     fn name(&self) -> &str {
         "policy"
+    }
+
+    fn interest(&self) -> InterestSet {
+        self.interest
     }
 }
 
@@ -188,6 +227,36 @@ mod tests {
         // Other syscalls with large first args are untouched.
         let mut read = SyscallEvent::new(SyscallArgs::new(nr::READ, [7, 0, 0, 0, 0, 0]));
         assert_eq!(p.handle(&mut read), Action::Passthrough);
+    }
+
+    #[test]
+    fn interest_is_precise() {
+        use syscalls::MAX_SYSCALL_NR;
+
+        let scoped = PolicyBuilder::allow_by_default().deny(nr::OPENAT).build();
+        let i = scoped.interest();
+        assert!(i.contains(nr::OPENAT));
+        assert!(!i.contains(nr::GETPID));
+        assert_eq!(i.len(), 1);
+
+        // Redundant allow rules under allow-by-default add nothing.
+        let noop = PolicyBuilder::allow_by_default().allow(nr::READ).build();
+        assert!(noop.interest().is_empty());
+
+        // Deny-by-default must see everything except explicit allows.
+        let deny = PolicyBuilder::deny_by_default().allow(nr::READ).build();
+        assert!(!deny.interest().contains(nr::READ));
+        assert!(deny.interest().contains(nr::OPEN));
+        assert_eq!(deny.interest().len(), MAX_SYSCALL_NR as usize - 1);
+
+        // The argument-level write rule forces interest in writes even
+        // when the number-level verdict allows them.
+        let wr = PolicyBuilder::allow_by_default()
+            .deny_write_to_fd_at_or_above(3)
+            .build();
+        assert!(wr.interest().contains(nr::WRITE));
+        assert!(wr.interest().contains(nr::PWRITE64));
+        assert_eq!(wr.interest().len(), 2);
     }
 
     #[test]

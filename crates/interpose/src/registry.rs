@@ -8,22 +8,67 @@
 //! of the process (interposition is one-way; rewritten code sites can
 //! fire at any time until exit).
 
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use crate::{Action, SyscallEvent, SyscallHandler};
 
 static GLOBAL: AtomicPtr<Box<dyn SyscallHandler>> = AtomicPtr::new(std::ptr::null_mut());
 
+/// The installed handler's [`InterestSet`], cached as raw words so the
+/// hot path pays one relaxed load and a bit test instead of a virtual
+/// `interest()` call per syscall. All-ones when no handler is
+/// registered (an unfiltered mechanism must still reach
+/// [`dispatch_global`], which handles the null case).
+///
+/// The words are updated one at a time after the handler pointer is
+/// stored, so a concurrent reader can observe a mix of the old and new
+/// sets. That race is benign by construction: the stale words err only
+/// toward *delivering* a syscall the new handler did not ask for (which
+/// every handler must tolerate — the set is an optimization, not a
+/// contract), or toward filtering one the *old* handler did not want.
+/// Handlers are expected to be installed once, near startup, before the
+/// threads they filter for exist.
+static INTEREST_WORDS: [AtomicU64; 8] = [
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+];
+
 /// Installs `handler` as the process-global interposer, replacing any
-/// previous one.
+/// previous one, and caches its [`SyscallHandler::interest`] set for
+/// the mechanisms' fast paths.
 ///
 /// The handler is intentionally leaked: intercepted syscalls can occur
 /// on any thread at any time once code has been rewritten, so there is
 /// no safe point to drop it. (A replaced handler leaks too — handlers
 /// are expected to be installed once, near startup.)
 pub fn set_global_handler(handler: Box<dyn SyscallHandler>) {
+    let interest = handler.interest();
     let thin = Box::into_raw(Box::new(handler));
     GLOBAL.store(thin, Ordering::SeqCst);
+    for (cache, word) in INTEREST_WORDS.iter().zip(interest.words()) {
+        cache.store(word, Ordering::Relaxed);
+    }
+}
+
+/// Tests the cached interest set: should the mechanism deliver syscall
+/// `nr` to the handler, or fall straight through to the raw syscall?
+///
+/// Out-of-range numbers (≥ 512) always report interesting, mirroring
+/// [`InterestSet::contains`]. Costs one relaxed atomic load and a bit
+/// test — cheap enough for every dispatch.
+#[inline]
+pub fn global_interested(nr: u64) -> bool {
+    if nr >= syscalls::MAX_SYSCALL_NR {
+        return true;
+    }
+    let word = INTEREST_WORDS[(nr / 64) as usize].load(Ordering::Relaxed);
+    word & (1u64 << (nr % 64)) != 0
 }
 
 /// Returns the registered handler, if any.
@@ -58,8 +103,13 @@ pub fn post_global(event: &SyscallEvent, ret: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::PassthroughHandler;
+    use crate::{InterestSet, PassthroughHandler};
+    use std::sync::Mutex;
     use syscalls::SyscallArgs;
+
+    // The registry is process-global; serialize the tests that install
+    // handlers so they don't observe each other's installs mid-assert.
+    static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn unregistered_defaults_to_passthrough() {
@@ -71,10 +121,36 @@ mod tests {
 
     #[test]
     fn register_and_dispatch() {
+        let _g = REGISTRY_LOCK.lock().unwrap();
         set_global_handler(Box::new(PassthroughHandler));
         assert!(global_handler().is_some());
         assert_eq!(global_handler().unwrap().name(), "passthrough");
         let mut ev = SyscallEvent::new(SyscallArgs::nullary(39));
         assert_eq!(dispatch_global(&mut ev), Action::Passthrough);
+    }
+
+    struct OnlyOpenat;
+    impl SyscallHandler for OnlyOpenat {
+        fn handle(&self, _event: &mut SyscallEvent) -> Action {
+            Action::Passthrough
+        }
+        fn interest(&self) -> InterestSet {
+            InterestSet::of(&[syscalls::nr::OPENAT])
+        }
+    }
+
+    #[test]
+    fn interest_cache_tracks_installed_handler() {
+        let _g = REGISTRY_LOCK.lock().unwrap();
+        set_global_handler(Box::new(OnlyOpenat));
+        assert!(global_interested(syscalls::nr::OPENAT));
+        assert!(!global_interested(syscalls::nr::GETPID));
+        assert!(!global_interested(0));
+        assert!(!global_interested(511));
+        // Out-of-table numbers stay conservatively interesting.
+        assert!(global_interested(syscalls::MAX_SYSCALL_NR));
+        // Reinstalling an all-syscalls handler restores full delivery.
+        set_global_handler(Box::new(PassthroughHandler));
+        assert!(global_interested(syscalls::nr::GETPID));
     }
 }

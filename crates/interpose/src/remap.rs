@@ -14,7 +14,7 @@
 
 use std::cell::RefCell;
 
-use crate::{Action, SyscallEvent, SyscallHandler};
+use crate::{Action, InterestSet, SyscallEvent, SyscallHandler};
 use syscalls::nr;
 
 /// Maximum path length the handler will inspect.
@@ -143,6 +143,32 @@ impl SyscallHandler for PathRemapHandler {
 
     fn name(&self) -> &str {
         "path-remap"
+    }
+
+    /// Exactly the path-carrying syscalls [`Self::path_arg_index`]
+    /// recognizes; an empty rule table never needs a call at all.
+    fn interest(&self) -> InterestSet {
+        if self.rules.is_empty() {
+            return InterestSet::none();
+        }
+        InterestSet::of(&[
+            nr::OPEN,
+            nr::STAT,
+            nr::LSTAT,
+            nr::ACCESS,
+            nr::READLINK,
+            nr::CHMOD,
+            nr::UNLINK,
+            nr::TRUNCATE,
+            nr::OPENAT,
+            nr::NEWFSTATAT,
+            nr::UNLINKAT,
+            nr::READLINKAT,
+            nr::FACCESSAT,
+            nr::FCHMODAT,
+            nr::MKDIRAT,
+            nr::STATX,
+        ])
     }
 }
 

@@ -6,7 +6,7 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
-use crate::{Action, SyscallEvent, SyscallHandler};
+use crate::{Action, InterestSet, SyscallEvent, SyscallHandler};
 use syscalls::nr;
 
 /// Redirects I/O syscalls aimed at one fd to another fd.
@@ -51,6 +51,11 @@ impl SyscallHandler for FdRedirectHandler {
 
     fn name(&self) -> &str {
         "fd-redirect"
+    }
+
+    /// Exactly the five fd-carrying syscalls `handle` matches on.
+    fn interest(&self) -> InterestSet {
+        InterestSet::of(&[nr::WRITE, nr::WRITEV, nr::PWRITE64, nr::SENDTO, nr::FSYNC])
     }
 }
 

@@ -128,6 +128,6 @@ mod tests {
     fn ctor_is_registered() {
         // The static must survive to link time with the right type.
         let f: unsafe extern "C" fn() = PRELOAD_CTOR;
-        assert_eq!(f as usize, preload_ctor as usize);
+        assert_eq!(f as usize, preload_ctor as *const () as usize);
     }
 }

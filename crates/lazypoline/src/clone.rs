@@ -251,7 +251,7 @@ mod tests {
                 a6: 0,
                 saved_rbx: 0,
                 saved_rbp: 0,
-                ret_addr: child_body as usize as u64,
+                ret_addr: child_body as *const () as usize as u64,
             };
             let tid = handle_clone(&mut frame);
             assert!(

@@ -26,6 +26,14 @@ pub struct Config {
     /// handler — the "SUD" baseline of Table II and Figure 5, and the
     /// ablation isolating the paper's core contribution.
     pub lazy_rewriting: bool,
+    /// On a slow-path trip, rewrite *all* verifiable `syscall` sites on
+    /// the faulting executable page under a single spinlock/`mprotect`
+    /// window, not just the faulting site (default on). Amortizes the
+    /// per-site rewrite cost and converts neighbouring sites' future
+    /// `SIGSYS` deliveries into fast-path entries. Turn off to ablate
+    /// batching: `SLOW_PATH_HITS` then rises to one per site while
+    /// `SITES_PATCHED` stays the same.
+    pub batch_rewriting: bool,
     /// Statically pre-scan and rewrite the executable regions whose
     /// path satisfies common safety filters before enabling SUD. This
     /// makes the very first executions of known sites take the fast
@@ -41,6 +49,7 @@ impl Default for Config {
             xstate: XstateMask::Avx,
             adopt_existing_signal_handlers: true,
             lazy_rewriting: true,
+            batch_rewriting: true,
             static_prescan: false,
         }
     }
@@ -117,6 +126,7 @@ pub struct Engine {
 /// ```
 pub fn init(config: Config) -> Result<Engine, InitError> {
     crate::slowpath::LAZY_REWRITING.store(config.lazy_rewriting, Ordering::SeqCst);
+    crate::slowpath::BATCH_REWRITING.store(config.batch_rewriting, Ordering::SeqCst);
     if !INITIALIZED.load(Ordering::SeqCst) {
         zpoline::set_xstate_mask(config.xstate);
         Trampoline::install().map_err(InitError::Trampoline)?;
@@ -233,6 +243,7 @@ mod tests {
         assert_eq!(c.xstate, XstateMask::Avx);
         assert!(c.adopt_existing_signal_handlers);
         assert!(c.lazy_rewriting);
+        assert!(c.batch_rewriting);
         assert!(!c.static_prescan);
     }
 

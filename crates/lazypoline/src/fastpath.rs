@@ -40,6 +40,22 @@ pub(crate) unsafe extern "C" fn lazypoline_dispatch(frame: *mut RawFrame) -> u64
         do_rt_sigreturn(frame);
     }
 
+    // Interest fast-out: when the installed handler declared no
+    // interest in this number, skip everything — no event, no virtual
+    // call, no dispatch guard — and execute raw. One relaxed load plus
+    // a bit test. Syscalls the engine must emulate for correctness
+    // (signals, clones) never take this exit regardless of handler
+    // interest. This same exit serves the zpoline-only configuration
+    // (this dispatcher with SUD unenrolled): there `enrolled()` is
+    // false and the selector stays at ALLOW.
+    if !needs_emulation(frame.nr) && !interpose::global_interested(frame.nr) {
+        let ret = raw_internal::syscall(frame.syscall_args());
+        if tls::enrolled() {
+            sud::set_selector(Dispatch::Block);
+        }
+        return ret;
+    }
+
     if tls::in_dispatch() {
         // A handler re-entered the dispatcher (e.g. through a patched
         // libc call inside the handler). Execute raw — the outer
@@ -57,6 +73,24 @@ pub(crate) unsafe extern "C" fn lazypoline_dispatch(frame: *mut RawFrame) -> u64
     ret
 }
 
+/// Syscalls [`handle_syscall`] must always emulate itself, whatever the
+/// installed handler's interest: executing them raw would break signal
+/// transparency or thread/process bookkeeping. (`rt_sigreturn` is
+/// handled before the fast-out and listed for the slow path's benefit.)
+#[inline]
+pub(crate) fn needs_emulation(nr_: u64) -> bool {
+    matches!(
+        nr_,
+        nr::RT_SIGRETURN
+            | nr::RT_SIGACTION
+            | nr::RT_SIGPROCMASK
+            | nr::CLONE
+            | nr::CLONE3
+            | nr::FORK
+            | nr::VFORK
+    )
+}
+
 /// Shared syscall handling: notify the global handler, then execute
 /// (with special handling for the process-control syscalls the paper
 /// calls out: `rt_sigreturn`, `rt_sigaction`, `clone`, `fork`,
@@ -68,7 +102,11 @@ pub(crate) unsafe extern "C" fn lazypoline_dispatch(frame: *mut RawFrame) -> u64
 /// the selector must be ALLOW.
 pub(crate) unsafe fn handle_syscall(frame: &mut RawFrame, notify: bool) -> u64 {
     let mut post_event = None;
-    if notify {
+    // Interest filter for callers that did not already fast-out (the
+    // SUD slow path's emulation arm arrives here directly): skip the
+    // event/virtual-call/post machinery for numbers the handler does
+    // not want, but still take the emulation match below.
+    if notify && interpose::global_interested(frame.nr) {
         let mut ev = SyscallEvent::with_site(frame.syscall_args(), frame.ret_addr as usize);
         match interpose::dispatch_global(&mut ev) {
             Action::Passthrough => {
@@ -211,6 +249,45 @@ mod tests {
             );
             handle_syscall(&mut r, true);
         }
+    }
+
+    #[test]
+    fn uninterested_syscall_bypasses_handler_but_executes() {
+        use interpose::{Action, InterestSet, SyscallEvent, SyscallHandler};
+
+        // Interested only in the non-existent number 499; decides with
+        // a sentinel so notification is observable.
+        struct Only499;
+        impl SyscallHandler for Only499 {
+            fn handle(&self, _ev: &mut SyscallEvent) -> Action {
+                Action::Return(0xDEAD)
+            }
+            fn interest(&self) -> InterestSet {
+                InterestSet::of(&[499])
+            }
+        }
+        interpose::set_global_handler(Box::new(Only499));
+
+        // getpid is outside the interest set: the handler must be
+        // bypassed (no 0xDEAD) while the syscall itself still executes.
+        let mut f = mk_frame(nr::GETPID, [0; 6]);
+        let ret = unsafe { handle_syscall(&mut f, true) };
+        assert_eq!(ret, std::process::id() as u64);
+
+        // 499 is inside the set: the handler decides.
+        let mut f = mk_frame(499, [0; 6]);
+        let ret = unsafe { handle_syscall(&mut f, true) };
+        assert_eq!(ret, 0xDEAD);
+
+        // Emulated syscalls never bypass their emulation: clone3 is
+        // refused by the engine even though the handler is indifferent.
+        let mut f = mk_frame(nr::CLONE3, [0; 6]);
+        let ret = unsafe { handle_syscall(&mut f, true) };
+        assert_eq!(Errno::from_ret(ret), Some(Errno::ENOSYS));
+
+        // Restore an all-syscalls handler for other tests in this
+        // process (the registry is global).
+        interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
     }
 
     #[test]

@@ -389,7 +389,7 @@ mod tests {
             mask: SIGSYS_MASK_BIT | (1 << 9),
         };
         let w = wrap_action(&app);
-        assert_eq!(w.handler, lp_signal_wrapper as usize as u64);
+        assert_eq!(w.handler, lp_signal_wrapper as *const () as usize as u64);
         assert_ne!(w.flags & libc::SA_SIGINFO as u64, 0);
         assert_eq!(w.flags & libc::SA_RESETHAND as u64, 0);
         assert_ne!(w.flags & libc::SA_RESTART as u64, 0);

@@ -32,6 +32,15 @@ use crate::{fastpath, signals, tls};
 /// and an ablation of the paper's central design choice.
 pub(crate) static LAZY_REWRITING: AtomicBool = AtomicBool::new(true);
 
+/// When true (default), a `SIGSYS` for an unpatched site rewrites every
+/// rewritable `syscall` site on that executable page in one
+/// spinlock/`mprotect` window ([`zpoline::patch_page_sites`]), instead
+/// of only the faulting site. Each extra site patched here is a future
+/// slow-path trip that never happens. Disable via
+/// [`crate::Config::batch_rewriting`] to ablate (the `ablate` bench
+/// compares `SITES_PATCHED` vs `SLOW_PATH_HITS` across both modes).
+pub(crate) static BATCH_REWRITING: AtomicBool = AtomicBool::new(true);
+
 /// The process-wide `SIGSYS` handler.
 ///
 /// # Safety
@@ -57,10 +66,19 @@ pub(crate) unsafe extern "C" fn sigsys_handler(
     let mut uc = UContext::from_ptr(ctx);
     let insn = si.syscall_insn_addr();
 
-    let patch_result = if LAZY_REWRITING.load(Ordering::Relaxed) {
-        zpoline::patch_syscall_site(insn)
-    } else {
+    let patch_result = if !LAZY_REWRITING.load(Ordering::Relaxed) {
         Err(zpoline::PatchError::TrampolineMissing)
+    } else if BATCH_REWRITING.load(Ordering::Relaxed) {
+        // Page-granular batch rewriting: one SIGSYS pays the
+        // lock/mprotect cost for every verifiable site on the page.
+        zpoline::patch_page_sites(insn).map(|batch| {
+            for _ in 0..batch.extra_patched {
+                counters::bump(&SITES_PATCHED);
+            }
+            batch.site
+        })
+    } else {
+        zpoline::patch_syscall_site(insn)
     };
     match patch_result {
         Ok(zpoline::PatchOutcome::Patched) => {

@@ -1,0 +1,95 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec`s with lengths drawn from `size`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start).max(1) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec`: vectors of `element` with a length in
+/// `size` (half-open, like proptest's `SizeRange` from a `Range`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeSet`s with target sizes drawn from `size`.
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let span = (self.size.end - self.size.start).max(1) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set; retry a bounded number of times to
+        // approach the target size (exactness is not part of the
+        // contract this workspace relies on).
+        for _ in 0..target.saturating_mul(8).max(8) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.gen_value(rng));
+        }
+        out
+    }
+}
+
+/// `proptest::collection::btree_set`: sets of `element` with a size
+/// in `size` (best-effort under duplicate draws).
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeSetStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let s = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_nonempty() {
+        let s = btree_set(0u64..1000, 1..20);
+        let mut rng = TestRng::for_case(2);
+        for _ in 0..50 {
+            let v = s.gen_value(&mut rng);
+            assert!(!v.is_empty() && v.len() < 20);
+            assert!(v.iter().all(|&x| x < 1000));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Vendored, minimal property-testing shim exposing the subset of the
+//! `proptest` crate API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this path dependency under the name `proptest`. It keeps the
+//! same surface syntax (`proptest!`, `prop_assert!`, strategies,
+//! `prop_oneof!`, `collection::vec`, string character-class patterns)
+//! but trades sophistication for zero dependencies:
+//!
+//! * cases are generated from a deterministic splitmix64 RNG (seed
+//!   fixed per test, so failures reproduce);
+//! * there is **no shrinking** — a failing case panics with the raw
+//!   inputs rendered via `Debug`;
+//! * the number of cases comes from `PROPTEST_CASES` (default 64).
+
+pub mod collection;
+pub mod strategy;
+
+pub mod test_runner {
+    //! Deterministic RNG + case-count plumbing for the `proptest!`
+    //! macro expansion.
+
+    /// Splitmix64: tiny, fast, and good enough for test-case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A deterministic generator for case number `case` of a test.
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng {
+                state: 0x9e37_79b9_7f4a_7c15_u64.wrapping_add(case.wrapping_mul(0xbf58_476d_1ce4_e5b9)),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Modulo bias is irrelevant at test-generation quality.
+            self.next_u64() % bound
+        }
+    }
+
+    /// Number of cases to run per property (`PROPTEST_CASES`, default 64).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point and the [`Arbitrary`] types behind it.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// One uniformly random value of the type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    #[derive(Clone, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T` (proptest's `any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs each property function over generated cases.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     /// docs
+///     #[test]
+///     fn name(x in strategy_expr, y in other_strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cases = $crate::test_runner::cases();
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $(let $arg = $crate::strategy::Strategy::gen_value(&$strat, &mut __rng);)+
+                let mut __inputs = String::new();
+                $(__inputs.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)+
+                let __run = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                };
+                if let Err(__msg) = __run() {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n{}",
+                        __case + 1, __cases, __msg, __inputs
+                    );
+                }
+            }
+        }
+    )+};
+}
+
+/// `prop_assert!`: fail the current case (with no shrinking) on a false
+/// condition.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion rendered with `Debug`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?} ({}:{})",
+                format!($($fmt)+), lhs, rhs, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($a), stringify!($b), lhs, rhs, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!`: inequality assertion rendered with `Debug`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($a), stringify!($b), lhs, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// `prop_oneof!`: uniformly choose among strategies producing the same
+/// value type. (Weights are not supported — the workspace uses none.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($arm)),+
+        ])
+    };
+}

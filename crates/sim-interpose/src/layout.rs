@@ -24,3 +24,13 @@ pub const TRACE_IDX_ADDR: u64 = DATA_BASE + 8;
 pub const TRACE_ENTRIES_ADDR: u64 = DATA_BASE + 16;
 /// Maximum recorded entries (buffer capacity guard).
 pub const TRACE_CAP: u64 = 500;
+
+/// Syscall-interest table: one byte per syscall number, nonzero when
+/// the interposer wants that syscall delivered to its recording logic.
+/// Byte-per-number (rather than a bitmap like the native
+/// `InterestSet`) because the simulated ISA has no shift instructions;
+/// the cost model is the same — one load and one compare on the hot
+/// path.
+pub const INTEREST_BASE: u64 = 0xA000;
+/// Interest table length = number of covered syscall numbers.
+pub const INTEREST_LEN: u64 = SLED_LEN;

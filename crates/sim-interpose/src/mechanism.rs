@@ -113,11 +113,51 @@ impl Interposed {
     ///
     /// See [`SetupError`].
     pub fn setup(mechanism: Mechanism, program: &[u8], trace: bool) -> Result<Interposed, SetupError> {
+        Interposed::setup_filtered(mechanism, program, trace, None)
+    }
+
+    /// Like [`Interposed::setup`], with an optional syscall-interest
+    /// filter: when `interest` is `Some(nrs)`, the interposer's
+    /// recording logic consults a per-number table in guest memory and
+    /// skips numbers outside `nrs` — the simulated counterpart of the
+    /// native `InterestSet` fast-path filter. Filtered syscalls still
+    /// *execute* normally; only the interposer's observation work is
+    /// skipped. `None` records everything, as before.
+    ///
+    /// The filter applies to the mechanisms with a userspace
+    /// observation path (zpoline and lazypoline trampoline stubs, the
+    /// SUD and seccomp-user handlers); ptrace's kernel-side log and
+    /// seccomp-bpf are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// See [`SetupError`].
+    pub fn setup_filtered(
+        mechanism: Mechanism,
+        program: &[u8],
+        trace: bool,
+        interest: Option<&[u64]>,
+    ) -> Result<Interposed, SetupError> {
         let mut system = System::new();
         let mut program = program.to_vec();
+        let filtered = interest.is_some();
 
         // Shared data page: selector + trace buffer.
         system.machine.mem.map(DATA_BASE, 4096, Perms::RW);
+
+        // Interest table: one byte per syscall number.
+        if let Some(nrs) = interest {
+            system.machine.mem.map(INTEREST_BASE, INTEREST_LEN, Perms::RW);
+            for &nr in nrs {
+                if nr < INTEREST_LEN {
+                    system
+                        .machine
+                        .mem
+                        .write(INTEREST_BASE + nr, &[1])
+                        .expect("fresh mapping");
+                }
+            }
+        }
 
         let asm_err = |e: sim_cpu::asm::AsmError| SetupError::Assembly(e.to_string());
 
@@ -138,6 +178,7 @@ impl Interposed {
                 let handler = emulating_handler(HandlerConfig {
                     trace,
                     manage_selector: false,
+                    interest: filtered,
                 })
                 .assemble_at(HANDLER_BASE)
                 .map_err(asm_err)?;
@@ -152,6 +193,7 @@ impl Interposed {
                 let handler = emulating_handler(HandlerConfig {
                     trace,
                     manage_selector: true,
+                    interest: filtered,
                 })
                 .assemble_at(HANDLER_BASE)
                 .map_err(asm_err)?;
@@ -173,6 +215,7 @@ impl Interposed {
                     trace,
                     xstate: false,
                     sud_aware: false,
+                    interest: filtered,
                 });
                 install_code(&mut system, TRAMPOLINE_BASE, &page);
             }
@@ -181,6 +224,7 @@ impl Interposed {
                     trace,
                     xstate,
                     sud_aware: true,
+                    interest: filtered,
                 });
                 install_code(&mut system, TRAMPOLINE_BASE, &page);
                 let handler = lazypoline_handler()
@@ -375,6 +419,58 @@ mod tests {
         ip.run().unwrap();
         assert_eq!(ip.system.kernel.stats().sud_dispatches, 0);
         assert_eq!(ip.system.kernel.stats().signals_delivered, 0);
+    }
+
+    #[test]
+    fn interest_filter_skips_observation_but_not_execution() {
+        for mech in [
+            Mechanism::Lazypoline { xstate: false },
+            Mechanism::Zpoline,
+            Mechanism::Sud,
+            Mechanism::SeccompUser,
+        ] {
+            // Interested only in exit_group: the getpids must run
+            // correctly (r12 == 1000, exit 0) yet stay unobserved.
+            let mut ip = Interposed::setup_filtered(
+                mech,
+                &getpid_x3(),
+                true,
+                Some(&[sysno::EXIT_GROUP]),
+            )
+            .unwrap();
+            assert_eq!(ip.run().unwrap(), 0, "{mech:?}");
+            assert_eq!(ip.system.machine.gpr(Gpr::R12), 1000, "{mech:?}");
+            let trace = ip.observed_trace();
+            assert_eq!(
+                trace.iter().filter(|&&n| n == sysno::GETPID).count(),
+                0,
+                "{mech:?}: filtered getpid leaked into {trace:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interest_filter_cuts_interposition_cycles() {
+        // Same workload, all-interest vs none-interest: the filtered
+        // run must be measurably cheaper (it skips the recording
+        // fragment on every dispatch) and both must stay correct.
+        let run = |interest: Option<&[u64]>| {
+            let mut ip = Interposed::setup_filtered(
+                Mechanism::Lazypoline { xstate: false },
+                &getpid_x3(),
+                true,
+                interest,
+            )
+            .unwrap();
+            ip.run().unwrap();
+            ip.cycles()
+        };
+        let unfiltered = run(None);
+        let filtered = run(Some(&[]));
+        assert!(
+            filtered < unfiltered,
+            "filtered {filtered} !< unfiltered {unfiltered}"
+        );
     }
 
     #[test]

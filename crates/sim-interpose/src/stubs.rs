@@ -51,6 +51,22 @@ pub struct StubConfig {
     /// Manage the SUD selector: ALLOW on entry, BLOCK on exit — the
     /// lazypoline fast-path protocol. Off for pure zpoline.
     pub sud_aware: bool,
+    /// Consult the guest interest table ([`INTEREST_BASE`]) and skip
+    /// the recording fragment for uninterested numbers — the simulated
+    /// counterpart of the native registry's interest bitmap.
+    pub interest: bool,
+}
+
+/// Appends the interest guard: jump to `{prefix}_int_skip` (which the
+/// caller must place after the guarded fragment) unless the interest
+/// table byte for the syscall number in `r0` is nonzero. Clobbers
+/// `r7`, `r8`.
+fn guard_interest(asm: Asm, prefix: &str) -> Asm {
+    asm.mov_ri(Gpr::R7, INTEREST_BASE)
+        .add_rr(Gpr::R7, Gpr::R0) // byte-indexed: no shifts needed
+        .load_b(Gpr::R8, Gpr::R7, 0)
+        .cmp_ri(Gpr::R8, 0)
+        .jz(&format!("{prefix}_int_skip"))
 }
 
 /// Builds the trampoline entry stub (lives at [`STUB_BASE`], reached
@@ -80,7 +96,13 @@ pub fn trampoline_stub(cfg: StubConfig) -> Asm {
             .store_b(Gpr::R7, Gpr::R8, 0);
     }
     if cfg.trace {
+        if cfg.interest {
+            asm = guard_interest(asm, "stub");
+        }
         asm = record_nr(asm, "stub");
+        if cfg.interest {
+            asm = asm.label("stub_int_skip");
+        }
     }
     asm = asm.syscall();
     if cfg.sud_aware {
@@ -116,6 +138,10 @@ pub struct HandlerConfig {
     /// Flip the selector ALLOW at entry / BLOCK before sigreturn (the
     /// classic SUD deployment, paper §II-A).
     pub manage_selector: bool,
+    /// Consult the interest table before recording, like
+    /// [`StubConfig::interest`] — the slow path applies the same
+    /// filter as the fast path.
+    pub interest: bool,
 }
 
 /// Builds the emulating SIGSYS handler used by the SUD and
@@ -135,7 +161,13 @@ pub fn emulating_handler(cfg: HandlerConfig) -> Asm {
     }
     if cfg.trace {
         asm = asm.load(Gpr::R0, Gpr::R10, frame::SYS_NR as i32);
+        if cfg.interest {
+            asm = guard_interest(asm, "hnd");
+        }
         asm = record_nr(asm, "hnd");
+        if cfg.interest {
+            asm = asm.label("hnd_int_skip");
+        }
     }
     // Re-execute with original registers.
     asm = asm
@@ -225,21 +257,24 @@ mod tests {
         for trace in [false, true] {
             for xstate in [false, true] {
                 for sud_aware in [false, true] {
-                    let cfg = StubConfig {
-                        trace,
-                        xstate,
-                        sud_aware,
-                    };
-                    let code = trampoline_stub(cfg).assemble_at(STUB_BASE).unwrap();
-                    // Fully decodable, ends in ret.
-                    let mut pos = 0;
-                    let mut last = None;
-                    while pos < code.len() {
-                        let i = decode(&code[pos..]).unwrap();
-                        pos += i.len as usize;
-                        last = Some(i.op);
+                    for interest in [false, true] {
+                        let cfg = StubConfig {
+                            trace,
+                            xstate,
+                            sud_aware,
+                            interest,
+                        };
+                        let code = trampoline_stub(cfg).assemble_at(STUB_BASE).unwrap();
+                        // Fully decodable, ends in ret.
+                        let mut pos = 0;
+                        let mut last = None;
+                        while pos < code.len() {
+                            let i = decode(&code[pos..]).unwrap();
+                            pos += i.len as usize;
+                            last = Some(i.op);
+                        }
+                        assert_eq!(last, Some(Op::Ret), "{cfg:?}");
                     }
-                    assert_eq!(last, Some(Op::Ret), "{cfg:?}");
                 }
             }
         }
@@ -263,6 +298,12 @@ mod tests {
             HandlerConfig {
                 trace: true,
                 manage_selector: true,
+                interest: false,
+            },
+            HandlerConfig {
+                trace: true,
+                manage_selector: true,
+                interest: true,
             },
         ] {
             let code = emulating_handler(cfg).assemble_at(HANDLER_BASE).unwrap();

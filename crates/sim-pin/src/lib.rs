@@ -265,7 +265,7 @@ mod tests {
         assert!(r
             .findings
             .iter()
-            .all(|f| !(f.vector == false && f.reg == 0)));
+            .all(|f| f.vector || f.reg != 0));
     }
 
     #[test]

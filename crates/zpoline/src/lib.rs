@@ -35,6 +35,6 @@ pub mod patcher;
 pub mod scanner;
 pub mod trampoline;
 
-pub use patcher::{patch_syscall_site, PatchError, PatchOutcome};
+pub use patcher::{patch_page_sites, patch_syscall_site, BatchOutcome, PatchError, PatchOutcome};
 pub use scanner::{exec_regions, find_syscall_sites, rewrite_process, rewrite_range, ExecRegion};
 pub use trampoline::{set_dispatcher, set_xstate_mask, DispatchFn, RawFrame, Trampoline, XstateMask};

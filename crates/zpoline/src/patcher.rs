@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use syscalls::{nr, raw, Errno};
 
+use crate::disasm;
 use crate::trampoline::Trampoline;
 
 /// `syscall` encoding (`0f 05`).
@@ -275,6 +276,127 @@ pub unsafe fn patch_syscall_site(addr: usize) -> Result<PatchOutcome, PatchError
     Ok(PatchOutcome::Patched)
 }
 
+/// Result of a successful [`patch_page_sites`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// What happened to the faulting site itself.
+    pub site: PatchOutcome,
+    /// Additional `syscall` sites on the same page rewritten within the
+    /// same spinlock/`mprotect` window.
+    pub extra_patched: usize,
+}
+
+/// Rewrites the faulting `syscall` at `addr` *and* every later
+/// rewritable `syscall` site on the same executable page, all under a
+/// single spinlock acquisition and a single `mprotect` open/close
+/// window.
+///
+/// A `SIGSYS` delivery already proves `addr` is a genuine, executed
+/// syscall instruction. Batch rewriting amortizes the per-site cost
+/// (two `mprotect` calls + lock traffic) across every site the sweep
+/// can verify on that page: code pages routinely hold several syscall
+/// stubs (vsyscall wrappers cluster in libc), and each one patched
+/// here is a future `SIGSYS` that never fires.
+///
+/// The extra sites come from a heuristic disassembly sweep, which is
+/// only trustworthy when started from a known instruction boundary —
+/// a page boundary is *not* one, and a sweep desynchronized at the
+/// page start happily reports `0f 05` byte pairs inside immediates and
+/// displacements as "sites"; patching those corrupts live code (this
+/// exact failure fires on real libc pages). The faulting address *is*
+/// ground truth: the CPU just executed a syscall there. So the sweep
+/// is anchored at `addr` and runs forward only, and stops early at the
+/// first undecodable instruction (where synchronization can no longer
+/// be argued). Sites before the anchor are left to their own future
+/// `SIGSYS` — the first of them to fire becomes a new, earlier anchor
+/// covering the rest. Sites whose two bytes straddle the page end are
+/// likewise skipped.
+///
+/// # Errors
+///
+/// Same as [`patch_syscall_site`]. `AlreadyPatched` (with
+/// `extra_patched == 0`) means another thread won the race for this
+/// site — that thread already swept the page.
+///
+/// # Safety
+///
+/// Same contract as [`patch_syscall_site`]: `addr` must come from a
+/// SUD `SIGSYS` (`si_call_addr - 2`) and the trampoline must outlive
+/// the process's code.
+pub unsafe fn patch_page_sites(addr: usize) -> Result<BatchOutcome, PatchError> {
+    if !Trampoline::is_installed() {
+        return Err(PatchError::TrampolineMissing);
+    }
+    let _guard = SpinGuard::lock();
+
+    let p = addr as *const u8;
+    let found = [p.read(), p.add(1).read()];
+    if found == CALL_RAX_BYTES {
+        return Ok(BatchOutcome {
+            site: PatchOutcome::AlreadyPatched,
+            extra_patched: 0,
+        });
+    }
+    if found != SYSCALL_BYTES {
+        return Err(PatchError::NotSyscallInsn { found });
+    }
+
+    let orig = region_perms(addr).ok_or(PatchError::UnmappedAddress)?;
+
+    let page = addr & !4095;
+    // The 2-byte instruction may straddle a page boundary.
+    let len = if addr + 2 > page + 4096 { 8192 } else { 4096 };
+
+    let rwx = libc::PROT_READ | libc::PROT_WRITE | libc::PROT_EXEC;
+    let r = raw::syscall3(nr::MPROTECT, page as u64, len as u64, rwx as u64);
+    if let Err(e) = Errno::result(r) {
+        return Err(PatchError::MprotectFailed(e));
+    }
+
+    (addr as *mut u8)
+        .cast::<u16>()
+        .write_unaligned(u16::from_le_bytes(CALL_RAX_BYTES));
+
+    // Sweep forward from the anchor inside the RWX window (mappings
+    // are page-granular, so the whole page belongs to `addr`'s
+    // mapping, and RWX guarantees it is readable even for an
+    // execute-only region). The anchor itself now decodes as
+    // `call rax` — also 2 bytes, so decode continues at `addr + 2`
+    // exactly as it would have.
+    let anchor_off = addr - page;
+    let tail = std::slice::from_raw_parts((page + anchor_off) as *const u8, 4096 - anchor_off);
+    let mut extra_patched = 0usize;
+    for (off, insn) in disasm::sweep(tail) {
+        if !insn.known {
+            // Synchronization can no longer be argued past this point.
+            break;
+        }
+        if !insn.is_syscall {
+            continue;
+        }
+        let site = addr + off + insn.len - 2;
+        if site == addr || site + 2 > page + 4096 {
+            continue;
+        }
+        let sp = site as *const u8;
+        if [sp.read(), sp.add(1).read()] == SYSCALL_BYTES {
+            (site as *mut u8)
+                .cast::<u16>()
+                .write_unaligned(u16::from_le_bytes(CALL_RAX_BYTES));
+            extra_patched += 1;
+        }
+    }
+
+    let r = raw::syscall3(nr::MPROTECT, page as u64, len as u64, orig.prot() as u64);
+    if let Err(e) = Errno::result(r) {
+        return Err(PatchError::MprotectFailed(e));
+    }
+    Ok(BatchOutcome {
+        site: PatchOutcome::Patched,
+        extra_patched,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +512,103 @@ mod tests {
                 Err(PatchError::NotSyscallInsn { found: [0x90, 0x90] })
             );
             libc::munmap(page, 4096);
+        }
+    }
+
+    /// Maps one RWX page filled with `ret` (0xc3 — decodes cleanly so
+    /// the sweep stays synchronized) and returns its base.
+    unsafe fn mk_code_page() -> *mut u8 {
+        let page = libc::mmap(
+            std::ptr::null_mut(),
+            4096,
+            libc::PROT_READ | libc::PROT_WRITE | libc::PROT_EXEC,
+            libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+            -1,
+            0,
+        );
+        assert_ne!(page, libc::MAP_FAILED);
+        std::ptr::write_bytes(page as *mut u8, 0xc3, 4096);
+        page as *mut u8
+    }
+
+    #[test]
+    fn batch_patches_all_sites_on_page() {
+        unsafe {
+            let p = mk_code_page();
+            if !Trampoline::is_installed() && !Trampoline::environment_supported() {
+                assert_eq!(
+                    patch_page_sites(p as usize),
+                    Err(PatchError::TrampolineMissing)
+                );
+                libc::munmap(p as *mut _, 4096);
+                return;
+            }
+            Trampoline::install().unwrap();
+
+            // Three genuine sites scattered over the page…
+            for off in [0usize, 1000, 4000] {
+                p.add(off).write(0x0f);
+                p.add(off + 1).write(0x05);
+            }
+            // …plus a decoy `0f 05` inside a mov immediate: the sweep
+            // must not flag it and the batch must not touch it.
+            let decoy: [u8; 5] = [0xb8, 0x0f, 0x05, 0x00, 0x00];
+            std::ptr::copy_nonoverlapping(decoy.as_ptr(), p.add(2000), decoy.len());
+
+            // Fault at the first site: the anchored forward sweep
+            // covers the two later sites but steps over the decoy.
+            let out = patch_page_sites(p as usize).unwrap();
+            assert_eq!(out.site, PatchOutcome::Patched);
+            assert_eq!(out.extra_patched, 2);
+            for off in [0usize, 1000, 4000] {
+                assert_eq!(
+                    std::slice::from_raw_parts(p.add(off), 2),
+                    &CALL_RAX_BYTES,
+                    "site at offset {off} not rewritten"
+                );
+            }
+            assert_eq!(std::slice::from_raw_parts(p.add(2000), 5), &decoy);
+
+            // Racing call: faulting site already call rax.
+            let again = patch_page_sites(p as usize).unwrap();
+            assert_eq!(again.site, PatchOutcome::AlreadyPatched);
+            assert_eq!(again.extra_patched, 0);
+            libc::munmap(p as *mut _, 4096);
+        }
+    }
+
+    #[test]
+    fn batch_never_patches_backward_and_stops_at_unknown() {
+        unsafe {
+            let p = mk_code_page();
+            if !Trampoline::is_installed() && !Trampoline::environment_supported() {
+                libc::munmap(p as *mut _, 4096);
+                return;
+            }
+            Trampoline::install().unwrap();
+
+            // A genuine site *before* the anchor: no ground-truth
+            // boundary reaches it, so it must be left for its own
+            // SIGSYS.
+            p.add(1000).write(0x0f);
+            p.add(1001).write(0x05);
+            // The faulting (anchor) site.
+            p.add(2000).write(0x0f);
+            p.add(2001).write(0x05);
+            // An undecodable byte (0x06 is invalid in 64-bit mode)
+            // between the anchor and a later genuine site: the sweep
+            // must stop there rather than patch past a desync point.
+            p.add(2500).write(0x06);
+            p.add(3000).write(0x0f);
+            p.add(3001).write(0x05);
+
+            let out = patch_page_sites(p as usize + 2000).unwrap();
+            assert_eq!(out.site, PatchOutcome::Patched);
+            assert_eq!(out.extra_patched, 0);
+            assert_eq!(std::slice::from_raw_parts(p.add(2000), 2), &CALL_RAX_BYTES);
+            assert_eq!(std::slice::from_raw_parts(p.add(1000), 2), &SYSCALL_BYTES);
+            assert_eq!(std::slice::from_raw_parts(p.add(3000), 2), &SYSCALL_BYTES);
+            libc::munmap(p as *mut _, 4096);
         }
     }
 }

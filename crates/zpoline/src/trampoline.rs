@@ -144,7 +144,13 @@ unsafe extern "C" fn passthrough_dispatch(frame: *mut RawFrame) -> u64 {
 /// Registers the dispatcher invoked for every rewritten syscall site,
 /// returning the previous one (if any).
 pub fn set_dispatcher(f: DispatchFn) -> Option<DispatchFn> {
-    let old = LP_DISPATCH_PTR.swap(f as usize, Ordering::SeqCst);
+    // Release publishes the dispatcher's code and any state it closes
+    // over before the pointer becomes visible; Acquire pairs with a
+    // concurrent swap so the returned previous pointer is safe to call.
+    // Nothing here needs a single global order across *other* atomics,
+    // so SeqCst would only add fence cost on the path every rewritten
+    // syscall's stub-load races with.
+    let old = LP_DISPATCH_PTR.swap(f as usize, Ordering::AcqRel);
     if old == 0 {
         None
     } else {
@@ -272,7 +278,10 @@ impl Trampoline {
     /// `EPERM` when `vm.mmap_min_addr > 0`.
     pub fn install() -> io::Result<Trampoline> {
         let sled_len = MAX_SYSCALL_NR as usize;
-        if TRAMPOLINE_INSTALLED.load(Ordering::SeqCst) {
+        // Acquire pairs with the Release store at the end of a
+        // concurrent install, so a caller that observes `true` also
+        // observes the fully written trampoline page.
+        if TRAMPOLINE_INSTALLED.load(Ordering::Acquire) {
             return Ok(Trampoline { sled_len });
         }
 
@@ -280,8 +289,8 @@ impl Trampoline {
             .compare_exchange(
                 0,
                 passthrough_dispatch as *const () as usize,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::AcqRel,
+                Ordering::Acquire,
             )
             .ok();
 
@@ -330,13 +339,18 @@ impl Trampoline {
             }
         }
 
-        TRAMPOLINE_INSTALLED.store(true, Ordering::SeqCst);
+        // Release: everything above — the sled bytes, the jump stub,
+        // the mprotect — happens-before any thread that Acquire-loads
+        // `true`. (The patcher checks this flag before every rewrite,
+        // so the flag's load cost recurs; its SeqCst fence did not buy
+        // anything — there is no second atomic to totally order with.)
+        TRAMPOLINE_INSTALLED.store(true, Ordering::Release);
         Ok(Trampoline { sled_len })
     }
 
     /// Whether the trampoline is live in this process.
     pub fn is_installed() -> bool {
-        TRAMPOLINE_INSTALLED.load(Ordering::SeqCst)
+        TRAMPOLINE_INSTALLED.load(Ordering::Acquire)
     }
 
     /// Length of the nop sled (= number of syscall numbers covered).
@@ -347,13 +361,39 @@ impl Trampoline {
     /// Probes whether this environment permits mapping page zero,
     /// without leaving the trampoline installed. Useful for skipping
     /// tests/benches gracefully.
+    ///
+    /// `vm.mmap_min_addr = 0` is sufficient but not necessary:
+    /// `CAP_SYS_RAWIO` (e.g. root in a container) bypasses the sysctl,
+    /// so the probe actually maps page zero once and unmaps it. The
+    /// result is cached — both to keep the probe cheap and so a late
+    /// probe can never unmap a concurrently installed trampoline.
     pub fn environment_supported() -> bool {
         if Self::is_installed() {
             return true;
         }
-        std::fs::read_to_string("/proc/sys/vm/mmap_min_addr")
-            .map(|s| s.trim().parse::<u64>().unwrap_or(u64::MAX) == 0)
-            .unwrap_or(false)
+        static PROBE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *PROBE.get_or_init(|| {
+            // SAFETY: PROT_NONE mapping at a fixed address nothing can
+            // legitimately occupy before the trampoline exists;
+            // immediately unmapped.
+            let page = unsafe {
+                libc::mmap(
+                    std::ptr::null_mut(),
+                    4096,
+                    libc::PROT_NONE,
+                    libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_FIXED,
+                    -1,
+                    0,
+                )
+            };
+            if page == libc::MAP_FAILED {
+                return false;
+            }
+            let ok = page.is_null();
+            // SAFETY: unmapping exactly what the probe mapped.
+            unsafe { libc::munmap(page, 4096) };
+            ok
+        })
     }
 }
 

@@ -403,6 +403,100 @@ fn scenario_path_remap() {
     assert!(!untouched.is_empty(), "unrelated opens broke");
 }
 
+/// Emits `count` tiny JIT functions (`mov eax, GETPID; syscall; ret`)
+/// at 64-byte intervals on one freshly mapped RWX page, padding with
+/// `ret` so a linear sweep of the page stays synchronized. Returns the
+/// page base.
+unsafe fn emit_getpid_page(count: usize) -> *mut u8 {
+    assert!(count * 64 <= 4096);
+    let page = libc::mmap(
+        std::ptr::null_mut(),
+        4096,
+        libc::PROT_READ | libc::PROT_WRITE | libc::PROT_EXEC,
+        libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+        -1,
+        0,
+    );
+    assert_ne!(page, libc::MAP_FAILED);
+    let p = page as *mut u8;
+    std::ptr::write_bytes(p, 0xc3, 4096);
+    for i in 0..count {
+        let code: [u8; 8] = [
+            0xb8,
+            syscalls::nr::GETPID as u8,
+            0,
+            0,
+            0, // mov eax, 39
+            0x0f,
+            0x05, // syscall
+            0xc3, // ret
+        ];
+        std::ptr::copy_nonoverlapping(code.as_ptr(), p.add(i * 64), code.len());
+    }
+    p
+}
+
+const JIT_SITES: usize = 8;
+
+fn scenario_batch_rewrite() {
+    // Multi-site workload, batching on (the default): the FIRST site's
+    // SIGSYS must patch every site on the page, so the remaining calls
+    // all enter through the fast path.
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    unsafe {
+        let p = emit_getpid_page(JIT_SITES);
+        // Resolve the expected pid *before* the measurement window:
+        // libc's own getpid syscall site would otherwise contribute
+        // its SIGSYS to the counters being asserted on.
+        let pid = std::process::id() as u64;
+        let before = lazypoline::stats();
+        for i in 0..JIT_SITES {
+            let f: extern "C" fn() -> u64 = std::mem::transmute(p.add(i * 64));
+            assert_eq!(f(), pid, "site {i}");
+        }
+        let after = lazypoline::stats();
+        let slow = after.slow_path_hits - before.slow_path_hits;
+        let patched = after.sites_patched - before.sites_patched;
+        // One SIGSYS patched the whole page; every subsequent site was
+        // already `call rax` when first executed.
+        assert_eq!(slow, 1, "batch did not amortize SIGSYS: {after:?}");
+        assert!(patched >= JIT_SITES as u64, "page not swept: {after:?}");
+        libc::munmap(p as *mut _, 4096);
+    }
+    engine.unenroll_current_thread();
+}
+
+fn scenario_batch_ablation() {
+    // Same workload with batch_rewriting off: every site pays its own
+    // SIGSYS — the baseline batch rewriting is measured against.
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config {
+        batch_rewriting: false,
+        ..Config::default()
+    })
+    .expect("init");
+    unsafe {
+        let p = emit_getpid_page(JIT_SITES);
+        // Keep libc's getpid site out of the measurement window (see
+        // scenario_batch_rewrite).
+        let pid = std::process::id() as u64;
+        let before = lazypoline::stats();
+        for i in 0..JIT_SITES {
+            let f: extern "C" fn() -> u64 = std::mem::transmute(p.add(i * 64));
+            assert_eq!(f(), pid, "site {i}");
+        }
+        let after = lazypoline::stats();
+        let slow = after.slow_path_hits - before.slow_path_hits;
+        assert_eq!(
+            slow, JIT_SITES as u64,
+            "expected one SIGSYS per site without batching: {after:?}"
+        );
+        libc::munmap(p as *mut _, 4096);
+    }
+    engine.unenroll_current_thread();
+}
+
 // ——— harness ————————————————————————————————————————————————————————
 
 const SCENARIOS: &[(&str, fn())] = &[
@@ -419,6 +513,8 @@ const SCENARIOS: &[(&str, fn())] = &[
     ("sigprocmask_guard", scenario_sigprocmask_guard),
     ("nested_signals", scenario_nested_signals),
     ("path_remap", scenario_path_remap),
+    ("batch_rewrite", scenario_batch_rewrite),
+    ("batch_ablation", scenario_batch_ablation),
 ];
 
 fn main() {
