@@ -39,7 +39,8 @@ pub use interest::InterestSet;
 pub use latency::{LatencyHandler, LATENCY_BUCKETS};
 pub use policy::{PolicyBuilder, PolicyHandler};
 pub use registry::{
-    dispatch_global, global_handler, global_interested, post_global, set_global_handler,
+    dispatch_global, global_handler, global_interested, post_global, quarantined_handlers,
+    set_global_handler,
 };
 pub use remap::{PathRemapHandler, MAX_PATH};
 pub use rewrite::FdRedirectHandler;
@@ -104,6 +105,9 @@ impl SyscallEvent {
 /// `handle` executes on the application thread with interposition
 /// temporarily disabled for its own syscalls. It must not allocate on
 /// the heap, panic, or block on locks that application code might hold.
+/// A panic that happens anyway is contained rather than fatal: the
+/// registry quarantines the handler and subsequent syscalls pass
+/// through uninterposed (see [`quarantined_handlers`]).
 pub trait SyscallHandler: Send + Sync {
     /// Decides what to do with one intercepted syscall.
     fn handle(&self, event: &mut SyscallEvent) -> Action;

@@ -7,8 +7,23 @@
 //! hot path is a single atomic load and the handler lives for the rest
 //! of the process (interposition is one-way; rewritten code sites can
 //! fire at any time until exit).
+//!
+//! # Panic containment
+//!
+//! A handler panic must never unwind into the dispatcher: the dispatch
+//! frames sit below hand-written assembly (and, on the slow path,
+//! inside a signal handler), where unwinding is undefined behaviour and
+//! would take the whole process down for a bug in *policy* code. Both
+//! [`dispatch_global`] and [`post_global`] therefore run the handler
+//! under [`std::panic::catch_unwind`]; the first panic **quarantines**
+//! the handler — it is atomically disabled, its interest cache is
+//! zeroed (so the fast path stops even consulting it), the event is
+//! counted, and the intercepted syscall passes through unmodified.
+//! Installing a handler via [`set_global_handler`] lifts the
+//! quarantine.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 use crate::{Action, SyscallEvent, SyscallHandler};
 
@@ -54,6 +69,42 @@ pub fn set_global_handler(handler: Box<dyn SyscallHandler>) {
     for (cache, word) in INTEREST_WORDS.iter().zip(interest.words()) {
         cache.store(word, Ordering::Relaxed);
     }
+    // A fresh handler starts trusted: lift any standing quarantine
+    // *after* the interest cache is valid, so no window exists where a
+    // quarantined-then-revived handler sees a zeroed set.
+    QUARANTINED.store(false, Ordering::SeqCst);
+}
+
+/// Whether the installed handler is quarantined after panicking.
+static QUARANTINED: AtomicBool = AtomicBool::new(false);
+
+/// Cumulative count of handlers quarantined (monotonic — re-installing
+/// a handler lifts the quarantine but does not erase the history).
+static QUARANTINE_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// How many handler panics have led to quarantine since process start.
+pub fn quarantined_handlers() -> u64 {
+    QUARANTINE_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Disables the installed handler after it panicked: first caller wins,
+/// counts the event, zeroes the interest cache (the fast path stops
+/// consulting the handler entirely), and writes a one-line note to
+/// stderr with a raw `write` (no allocation, no locks — this can run
+/// inside the `SIGSYS` handler).
+#[cold]
+fn quarantine_global() {
+    if QUARANTINED.swap(true, Ordering::SeqCst) {
+        return; // racing panics: already quarantined
+    }
+    QUARANTINE_EVENTS.fetch_add(1, Ordering::Relaxed);
+    for cache in &INTEREST_WORDS {
+        cache.store(0, Ordering::Relaxed);
+    }
+    let msg = b"interpose: handler panicked; quarantined (syscalls pass through)\n";
+    unsafe {
+        libc::write(2, msg.as_ptr().cast(), msg.len());
+    }
 }
 
 /// Tests the cached interest set: should the mechanism deliver syscall
@@ -84,19 +135,41 @@ pub fn global_handler() -> Option<&'static dyn SyscallHandler> {
 }
 
 /// Runs the global handler on `event`; [`Action::Passthrough`] when no
-/// handler is registered.
+/// handler is registered or the handler is quarantined. A panicking
+/// handler is quarantined and the event passes through (see the module
+/// docs).
 pub fn dispatch_global(event: &mut SyscallEvent) -> Action {
     match global_handler() {
-        Some(h) => h.handle(event),
-        None => Action::Passthrough,
+        Some(h) if !QUARANTINED.load(Ordering::Relaxed) => {
+            // AssertUnwindSafe: on panic the handler is never called
+            // again (quarantine), so broken invariants are unobservable.
+            match panic::catch_unwind(AssertUnwindSafe(|| h.handle(event))) {
+                Ok(action) => action,
+                Err(_) => {
+                    quarantine_global();
+                    Action::Passthrough
+                }
+            }
+        }
+        _ => Action::Passthrough,
     }
 }
 
 /// Runs the global handler's post hook on an executed syscall's result.
+/// Quarantine applies as in [`dispatch_global`]; a panic here leaves the
+/// syscall's real return value untouched.
 pub fn post_global(event: &SyscallEvent, ret: u64) -> u64 {
     match global_handler() {
-        Some(h) => h.post(event, ret),
-        None => ret,
+        Some(h) if !QUARANTINED.load(Ordering::Relaxed) => {
+            match panic::catch_unwind(AssertUnwindSafe(|| h.post(event, ret))) {
+                Ok(r) => r,
+                Err(_) => {
+                    quarantine_global();
+                    ret
+                }
+            }
+        }
+        _ => ret,
     }
 }
 
@@ -152,5 +225,47 @@ mod tests {
         // Reinstalling an all-syscalls handler restores full delivery.
         set_global_handler(Box::new(PassthroughHandler));
         assert!(global_interested(syscalls::nr::GETPID));
+    }
+
+    struct PanicsOnGetpid;
+    impl SyscallHandler for PanicsOnGetpid {
+        fn handle(&self, event: &mut SyscallEvent) -> Action {
+            if event.call.nr == syscalls::nr::GETPID {
+                panic!("policy bug");
+            }
+            Action::Passthrough
+        }
+    }
+
+    #[test]
+    fn panicking_handler_is_quarantined_not_fatal() {
+        let _g = REGISTRY_LOCK.lock().unwrap();
+        // Keep the expected panic's backtrace out of the test output.
+        let prev_hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+
+        set_global_handler(Box::new(PanicsOnGetpid));
+        let before = quarantined_handlers();
+        assert!(global_interested(syscalls::nr::GETPID));
+
+        let mut ev = SyscallEvent::new(SyscallArgs::nullary(syscalls::nr::GETPID));
+        // The panic is contained; the event passes through.
+        assert_eq!(dispatch_global(&mut ev), Action::Passthrough);
+        assert_eq!(quarantined_handlers(), before + 1);
+        // Quarantine zeroes the interest cache and mutes the handler.
+        assert!(!global_interested(syscalls::nr::GETPID));
+        assert_eq!(dispatch_global(&mut ev), Action::Passthrough);
+        assert_eq!(quarantined_handlers(), before + 1, "second hit must not re-count");
+
+        // post_global is muted too (and must not panic).
+        assert_eq!(post_global(&ev, 42), 42);
+
+        // Installing a fresh handler lifts the quarantine.
+        set_global_handler(Box::new(PassthroughHandler));
+        assert!(global_interested(syscalls::nr::GETPID));
+        assert_eq!(dispatch_global(&mut ev), Action::Passthrough);
+        assert_eq!(quarantined_handlers(), before + 1);
+
+        panic::set_hook(prev_hook);
     }
 }

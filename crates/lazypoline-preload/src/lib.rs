@@ -14,6 +14,18 @@
 //! | `LAZYPOLINE_MODE` | `passthrough` (default), `trace`, `count` | interposer choice |
 //! | `LAZYPOLINE_XSTATE` | `avx` (default), `sse`, `x87`, `none` | extended-state preservation (paper §IV-B(b)) |
 //! | `LAZYPOLINE_STATS` | `1` | dump engine counters at exit |
+//! | `LAZYPOLINE_FAULTS` | `site:schedule[:ERRNO],…` | arm fault-injection seams (testing only) |
+//!
+//! `LAZYPOLINE_FAULTS` (e.g. `trampoline_install:first=1` or
+//! `patch_mprotect:every=3:EAGAIN`) arms the engine's built-in fault
+//! seams before initialization; the engine then *degrades* instead of
+//! failing — `trampoline_install` forces `Mode::SudOnly`, `sud_enroll`
+//! forces `Mode::PrescanOnly`, and patch faults exercise the retry and
+//! page-blocklist machinery. The resulting mode and robustness counters
+//! are visible programmatically via `lazypoline::health()` and in the
+//! `LAZYPOLINE_STATS=1` dump. Sites: `trampoline_install`,
+//! `patch_mprotect`, `sud_enroll`, `selector_write`,
+//! `slowpath_emulate`; schedules: `nth=N`, `every=N`, `first=K`.
 //!
 //! The constructor runs from `.init_array` before `main`, so every
 //! syscall the application itself makes is interposed. Syscalls made
@@ -91,13 +103,24 @@ unsafe extern "C" fn preload_ctor() {
 extern "C" fn dump_stats() {
     let fd = STATS_FD.load(Ordering::SeqCst);
     let mut out = String::new();
-    let s = lazypoline::stats();
+    let h = lazypoline::health();
+    let s = h.stats;
     out.push_str("-- lazypoline stats --\n");
+    out.push_str(&format!("mode                     : {:?}\n", h.mode));
     out.push_str(&format!("slow-path (SIGSYS) trips : {}\n", s.slow_path_hits));
     out.push_str(&format!("sites lazily rewritten   : {}\n", s.sites_patched));
     out.push_str(&format!("dispatcher invocations   : {}\n", s.dispatches));
     out.push_str(&format!("unpatchable emulations   : {}\n", s.unpatchable_emulations));
+    out.push_str(&format!("disabled-mode emulations : {}\n", s.disabled_mode_emulations));
     out.push_str(&format!("signals wrapped          : {}\n", s.signals_wrapped));
+    // Robustness lines appear only when something actually degraded,
+    // keeping the healthy-path dump short.
+    if s.patch_retries + s.pages_blocklisted + s.quarantined_handlers + h.faults_injected > 0 {
+        out.push_str(&format!("patch retries            : {}\n", s.patch_retries));
+        out.push_str(&format!("pages blocklisted        : {}\n", s.pages_blocklisted));
+        out.push_str(&format!("handlers quarantined     : {}\n", s.quarantined_handlers));
+        out.push_str(&format!("faults injected          : {}\n", h.faults_injected));
+    }
     let counter = COUNTER.load(Ordering::SeqCst);
     if !counter.is_null() {
         out.push_str("-- top syscalls --\n");

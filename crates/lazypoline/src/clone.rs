@@ -31,9 +31,29 @@ use zpoline::RawFrame;
 
 use crate::raw_internal;
 
+const SIG_UNBLOCK: u64 = 1;
+
 const CLONE_VM: u64 = 0x100;
 const CLONE_VFORK: u64 = 0x4000;
 const CLONE_SETTLS: u64 = 0x0008_0000;
+
+/// Bounded attempts when re-enabling SUD on a fresh task. The kernel
+/// supported SUD a moment ago (the parent dispatched this very clone),
+/// so a failure here is transient by construction — worth a couple of
+/// immediate re-attempts before accepting degradation.
+const ENROLL_ATTEMPTS: u32 = 3;
+
+/// [`sud::enable_thread`] with bounded retry; returns whether SUD is
+/// enabled when it gives up.
+fn enable_thread_with_retry() -> bool {
+    for _ in 0..ENROLL_ATTEMPTS {
+        if sud::enable_thread().is_ok() {
+            return true;
+        }
+        std::hint::spin_loop();
+    }
+    false
+}
 
 /// Re-enrolls the current task after the kernel cleared its SUD state.
 ///
@@ -41,9 +61,9 @@ const CLONE_SETTLS: u64 = 0x0008_0000;
 /// the dispatcher exit path re-BLOCKs) and from the clone-child shim.
 pub(crate) fn reenroll_after_clone() {
     if crate::tls::enrolled() {
-        // Ignore failure: a kernel that supported SUD a moment ago will
-        // support it now; if not, the task degrades to uninterposed.
-        let _ = sud::enable_thread();
+        // After the bounded retry, ignore failure: the task degrades to
+        // uninterposed rather than dying.
+        let _ = enable_thread_with_retry();
     }
 }
 
@@ -166,7 +186,26 @@ unsafe extern "C" fn lp_clone_child_init() {
     // execs or exits, and restores its own guard on dispatcher exit.)
     crate::tls::set_in_dispatch(false);
     crate::tls::set_enrolled(true);
-    if sud::enable_thread().is_ok() {
+    // The clone may have been emulated *inside the SIGSYS handler*
+    // (pure-SUD configuration, or the SudOnly degradation rung), in
+    // which case this child inherited a signal mask with SIGSYS blocked
+    // — and, unlike a fork-like child, it never travels through a
+    // sigreturn that would restore the pre-handler mask. A blocked
+    // SIGSYS turns the first intercepted syscall into a straight kill,
+    // so unblock it unconditionally before arming the selector.
+    let sigsys_mask: u64 = 1 << (libc::SIGSYS as u64 - 1);
+    raw_internal::syscall(SyscallArgs::new(
+        nr::RT_SIGPROCMASK,
+        [
+            SIG_UNBLOCK,
+            &sigsys_mask as *const u64 as u64,
+            0,
+            8,
+            0,
+            0,
+        ],
+    ));
+    if enable_thread_with_retry() {
         sud::set_selector(sud::Dispatch::Block);
     }
 }

@@ -40,11 +40,24 @@ pub(crate) static DISPATCHES: Counter = Counter(2);
 pub(crate) static UNPATCHABLE_EMULATIONS: Counter = Counter(3);
 /// Application signal-handler invocations routed through the wrapper.
 pub(crate) static SIGNALS_WRAPPED: Counter = Counter(4);
+/// Retries of a patch attempt after a transient `mprotect` failure
+/// (`EAGAIN`/`ENOMEM`) in the slow path.
+pub(crate) static PATCH_RETRIES: Counter = Counter(5);
+/// Pages inserted into the unpatchable-page blocklist after persistent
+/// patch failure.
+pub(crate) static PAGES_BLOCKLISTED: Counter = Counter(6);
+/// Syscalls emulated in the handler because lazy rewriting is disabled
+/// (pure-SUD configuration or `Mode::SudOnly` degradation) — a config
+/// state, distinct from [`UNPATCHABLE_EMULATIONS`] failures.
+pub(crate) static DISABLED_MODE_EMULATIONS: Counter = Counter(7);
 
-const NUM_COUNTERS: usize = 5;
+// Exactly 8 counters: one cache line per shard (the layout unit test
+// asserts this). A 9th counter would double every shard — split a new
+// event stream into a second shard array instead.
+const NUM_COUNTERS: usize = 8;
 const NUM_SHARDS: usize = 64;
 
-/// One thread's slots for all five counters, padded to a cache line so
+/// One thread's slots for all the counters, padded to a cache line so
 /// two threads' shards never false-share.
 #[repr(align(64))]
 struct Shard {
@@ -86,6 +99,13 @@ fn shard_index() -> usize {
 #[inline]
 pub(crate) fn bump(counter: &Counter) {
     SHARDS[shard_index()].slots[counter.0].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds `n` to `counter` on the calling thread's shard (bulk events,
+/// e.g. a static prescan reporting how many sites it rewrote).
+#[inline]
+pub(crate) fn add(counter: &Counter, n: u64) {
+    SHARDS[shard_index()].slots[counter.0].fetch_add(n, Ordering::Relaxed);
 }
 
 /// Sums `counter` across all shards. Exact once writers quiesce;

@@ -1,14 +1,33 @@
 //! Engine assembly: wires the trampoline, dispatcher, SIGSYS handler,
-//! signal adoption, and per-thread enrollment together.
+//! signal adoption, and per-thread enrollment together — with a
+//! degradation ladder instead of all-or-nothing initialization.
+//!
+//! # Degradation ladder
+//!
+//! The paper's central claim is interposition *without compromise*; a
+//! production engine must additionally not make the *process* pay for
+//! the engine's own misfortune. [`init`] therefore degrades instead of
+//! failing when one of its two mechanisms is unavailable:
+//!
+//! | trampoline | SUD | resulting [`Mode`] |
+//! |---|---|---|
+//! | ok | ok | [`Mode::Hybrid`] — the full design |
+//! | failed | ok | [`Mode::SudOnly`] — every syscall emulated in the `SIGSYS` handler; exhaustiveness preserved, speed sacrificed |
+//! | ok | failed | [`Mode::PrescanOnly`] — statically rewritten regions dispatch; exhaustiveness sacrificed (no discovery of new sites) |
+//! | failed | failed | clean [`InitError`]; the process runs un-interposed |
+//!
+//! The active mode and the robustness counters are observable via
+//! [`health`].
 
 use std::fmt;
 use std::io;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Once;
 
 use zpoline::{Trampoline, XstateMask};
 
 use crate::counters;
-use crate::{fastpath, signals, slowpath, tls};
+use crate::{blocklist, fastpath, signals, slowpath, tls};
 
 /// Configuration for [`init`].
 #[derive(Clone, Copy, Debug)]
@@ -55,17 +74,27 @@ impl Default for Config {
     }
 }
 
-/// Why [`init`] failed. The process is left un-interposed but otherwise
-/// intact when any of these is returned.
+/// Why [`init`] failed outright (every rung of the degradation ladder
+/// exhausted, or a per-thread step failed). The process is left
+/// un-interposed but otherwise intact when any of these is returned.
 #[derive(Debug)]
 pub enum InitError {
     /// Page zero could not be mapped (usually `vm.mmap_min_addr > 0`).
+    /// Only returned when SUD *also* failed — a trampoline failure
+    /// alone degrades to [`Mode::SudOnly`].
     Trampoline(io::Error),
     /// `prctl(PR_SET_SYSCALL_USER_DISPATCH)` failed (kernel < 5.11 or
-    /// seccomp-filtered).
+    /// seccomp-filtered) on a later thread's enrollment.
     Sud(io::Error),
     /// Installing the `SIGSYS` disposition failed.
     Sigaction(io::Error),
+    /// Both mechanisms failed: no rung of the ladder is available.
+    Unavailable {
+        /// The trampoline install failure.
+        trampoline: io::Error,
+        /// The SUD setup/enrollment failure.
+        sud: io::Error,
+    },
 }
 
 impl fmt::Display for InitError {
@@ -74,11 +103,34 @@ impl fmt::Display for InitError {
             InitError::Trampoline(e) => write!(f, "trampoline install failed: {e}"),
             InitError::Sud(e) => write!(f, "syscall user dispatch unavailable: {e}"),
             InitError::Sigaction(e) => write!(f, "SIGSYS handler install failed: {e}"),
+            InitError::Unavailable { trampoline, sud } => write!(
+                f,
+                "no interposition mechanism available (trampoline: {trampoline}; SUD: {sud})"
+            ),
         }
     }
 }
 
 impl std::error::Error for InitError {}
+
+/// Which rung of the degradation ladder the engine runs on (see the
+/// module docs). Decided once, at first [`init`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// [`init`] has not completed yet.
+    Uninitialized,
+    /// Trampoline + SUD: lazy rewriting with an exhaustive slow path —
+    /// the paper's design.
+    Hybrid,
+    /// SUD only: the trampoline is unavailable, so nothing is ever
+    /// rewritten; every intercepted syscall is emulated in the `SIGSYS`
+    /// handler. Exhaustive but slow (Table II's "SUD" row).
+    SudOnly,
+    /// Trampoline only: SUD is unavailable, so new sites are never
+    /// discovered; regions rewritten by the static prescan dispatch
+    /// through the trampoline. Fast but not exhaustive.
+    PrescanOnly,
+}
 
 /// Event counters since initialization.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -89,13 +141,70 @@ pub struct Stats {
     pub sites_patched: u64,
     /// Syscalls that reached the dispatcher.
     pub dispatches: u64,
-    /// Syscalls emulated in the handler because patching failed.
+    /// Syscalls emulated in the handler because patching failed (the
+    /// site or its page is unpatchable).
     pub unpatchable_emulations: u64,
+    /// Syscalls emulated in the handler because lazy rewriting is
+    /// disabled (pure-SUD configuration or [`Mode::SudOnly`]) — a
+    /// configuration state, not a failure.
+    pub disabled_mode_emulations: u64,
     /// Application signal deliveries routed through the wrapper.
     pub signals_wrapped: u64,
+    /// Patch re-attempts after transient `mprotect` failures.
+    pub patch_retries: u64,
+    /// Pages inserted into the unpatchable-page blocklist.
+    pub pages_blocklisted: u64,
+    /// Interposer handlers quarantined after panicking (cumulative).
+    pub quarantined_handlers: u64,
+}
+
+/// Robustness snapshot: the active degradation-ladder rung plus the
+/// counters that describe how the engine has been coping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Health {
+    /// The rung of the degradation ladder the engine runs on.
+    pub mode: Mode,
+    /// Pages in the unpatchable-page blocklist.
+    pub patch_blocklist_pages: u64,
+    /// Interposer handlers quarantined after panicking (cumulative).
+    pub quarantined_handlers: u64,
+    /// Faults injected by the `faultinject` seams (0 in production).
+    pub faults_injected: u64,
+    /// Patch re-attempts after transient `mprotect` failures.
+    pub patch_retries: u64,
+    /// The full counter set ([`stats`]).
+    pub stats: Stats,
 }
 
 static INITIALIZED: AtomicBool = AtomicBool::new(false);
+
+/// The established [`Mode`], encoded as a u8 (0 = uninitialized).
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Arms fault seams from `LAZYPOLINE_FAULTS` exactly once per process
+/// (re-arming on a second `init` would reset schedule hit counts).
+static FAULTS_FROM_ENV: Once = Once::new();
+
+fn store_mode(m: Mode) {
+    let v = match m {
+        Mode::Uninitialized => 0,
+        Mode::Hybrid => 1,
+        Mode::SudOnly => 2,
+        Mode::PrescanOnly => 3,
+    };
+    MODE.store(v, Ordering::SeqCst);
+}
+
+/// The engine's active degradation-ladder rung
+/// ([`Mode::Uninitialized`] before the first successful [`init`]).
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::SeqCst) {
+        1 => Mode::Hybrid,
+        2 => Mode::SudOnly,
+        3 => Mode::PrescanOnly,
+        _ => Mode::Uninitialized,
+    }
+}
 
 /// Handle to the initialized engine.
 ///
@@ -110,12 +219,18 @@ pub struct Engine {
 /// Initializes hybrid interposition and enrolls the calling thread.
 ///
 /// Idempotent for the process-global parts; a second call on another
-/// thread simply enrolls that thread.
+/// thread simply enrolls that thread (except in [`Mode::PrescanOnly`],
+/// where there is nothing to enroll in).
+///
+/// Initialization *degrades* rather than fails when one mechanism is
+/// unavailable — see the module docs for the ladder. Check [`health`]
+/// for the resulting [`Mode`].
 ///
 /// # Errors
 ///
-/// See [`InitError`]. On error nothing irreversible has happened —
-/// specifically, SUD is not left enabled.
+/// See [`InitError`]; returned only when no ladder rung is available
+/// (or a later thread's enrollment fails). On error nothing
+/// irreversible has happened — specifically, SUD is not left enabled.
 ///
 /// # Examples
 ///
@@ -125,47 +240,117 @@ pub struct Engine {
 /// # Ok::<(), lazypoline::InitError>(())
 /// ```
 pub fn init(config: Config) -> Result<Engine, InitError> {
-    crate::slowpath::LAZY_REWRITING.store(config.lazy_rewriting, Ordering::SeqCst);
+    FAULTS_FROM_ENV.call_once(|| {
+        if let Err(e) = faultinject::arm_from_env() {
+            eprintln!("lazypoline: ignoring LAZYPOLINE_FAULTS: {e}");
+        }
+    });
     crate::slowpath::BATCH_REWRITING.store(config.batch_rewriting, Ordering::SeqCst);
+
     if !INITIALIZED.load(Ordering::SeqCst) {
-        zpoline::set_xstate_mask(config.xstate);
-        Trampoline::install().map_err(InitError::Trampoline)?;
-        zpoline::set_dispatcher(fastpath::lazypoline_dispatch);
-
-        unsafe {
-            if config.adopt_existing_signal_handlers {
-                signals::adopt_existing_handlers();
-            }
-            sud::sigsys::install_sigsys_handler(slowpath::sigsys_handler)
-                .map_err(InitError::Sigaction)?;
-        }
-
-        if config.static_prescan {
-            // Prime the obvious regions; errors are non-fatal (the slow
-            // path remains exhaustive).
-            let _ = unsafe {
-                zpoline::rewrite_process(|r| {
-                    r.path.contains("libc") || r.path.ends_with(&current_exe_name())
-                })
-            };
-        }
-
-        INITIALIZED.store(true, Ordering::SeqCst);
-    } else {
-        // Re-initialization may still adjust the xstate policy.
-        zpoline::set_xstate_mask(config.xstate);
+        return init_process_global(config);
     }
 
+    // Re-initialization (another thread, or a redundant call): adjust
+    // per-call knobs, but never contradict the established mode.
+    zpoline::set_xstate_mask(config.xstate);
+    if mode() != Mode::SudOnly {
+        crate::slowpath::LAZY_REWRITING.store(config.lazy_rewriting, Ordering::SeqCst);
+    }
     let engine = Engine { _private: () };
+    if mode() == Mode::PrescanOnly {
+        // No SIGSYS machinery: enrolling would raise SIGSYS with the
+        // default (fatal) disposition. Threads stay un-enrolled.
+        return Ok(engine);
+    }
     engine.enroll_current_thread().map_err(InitError::Sud)?;
     Ok(engine)
 }
 
-fn current_exe_name() -> String {
-    std::env::current_exe()
-        .ok()
-        .and_then(|p| p.file_name().map(|s| s.to_string_lossy().into_owned()))
-        .unwrap_or_default()
+/// First-call path: establish the process-global machinery and decide
+/// the degradation-ladder rung.
+fn init_process_global(config: Config) -> Result<Engine, InitError> {
+    crate::slowpath::LAZY_REWRITING.store(config.lazy_rewriting, Ordering::SeqCst);
+    zpoline::set_xstate_mask(config.xstate);
+
+    // Rung 1: the trampoline. Failure is survivable (→ SudOnly).
+    let tramp_err = match Trampoline::install() {
+        Ok(_) => {
+            zpoline::set_dispatcher(fastpath::lazypoline_dispatch);
+            None
+        }
+        Err(e) => Some(e),
+    };
+
+    // Rung 2: SUD — handler disposition plus this thread's enrollment.
+    // Failure is survivable when the trampoline stands (→ PrescanOnly).
+    let mut sud_err = None;
+    unsafe {
+        if config.adopt_existing_signal_handlers {
+            signals::adopt_existing_handlers();
+        }
+        if let Err(e) = sud::sigsys::install_sigsys_handler(slowpath::sigsys_handler) {
+            sud_err = Some(e);
+        }
+    }
+    let engine = Engine { _private: () };
+    if sud_err.is_none() {
+        if let Err(e) = engine.enroll_current_thread() {
+            sud_err = Some(e);
+        }
+    }
+
+    let decided = match (tramp_err, sud_err) {
+        (None, None) => Mode::Hybrid,
+        (Some(_), None) => Mode::SudOnly,
+        (None, Some(_)) => Mode::PrescanOnly,
+        (Some(trampoline), Some(sud)) => {
+            return Err(InitError::Unavailable { trampoline, sud });
+        }
+    };
+
+    match decided {
+        Mode::SudOnly => {
+            // No trampoline: a patched site would `call` into unmapped
+            // page zero. Force pure-SUD emulation whatever the config
+            // asked for.
+            crate::slowpath::LAZY_REWRITING.store(false, Ordering::SeqCst);
+        }
+        Mode::Hybrid | Mode::PrescanOnly => {
+            // PrescanOnly *needs* the prescan (it is the only way any
+            // syscall gets interposed); in Hybrid it is the configured
+            // optimization. Run it with the selector disarmed so the
+            // scan's own syscalls don't spam the slow path.
+            if decided == Mode::PrescanOnly || config.static_prescan {
+                let re_arm = tls::enrolled();
+                if re_arm {
+                    sud::set_selector(sud::Dispatch::Allow);
+                }
+                // libc only: it carries the syscall sites of every
+                // dynamically-linked binary, and its instruction stream
+                // is the one the zpoline lineage has long rewritten
+                // statically. Raw syscalls in other objects stay
+                // uninterposed in PrescanOnly — the documented
+                // exhaustiveness sacrifice of this rung. Errors are
+                // non-fatal: in Hybrid the slow path remains
+                // exhaustive; in PrescanOnly a partial rewrite still
+                // interposes what it reached.
+                if let Ok((patched, _unknown)) =
+                    unsafe { zpoline::rewrite_process(|r| r.path.contains("libc")) }
+                {
+                    counters::add(&counters::SITES_PATCHED, patched as u64);
+                }
+                if re_arm {
+                    sud::set_selector(sud::Dispatch::Block);
+                }
+            }
+        }
+        Mode::Uninitialized => unreachable!(),
+    }
+
+    store_mode(decided);
+    INITIALIZED.store(true, Ordering::SeqCst);
+    Ok(engine)
 }
 
 impl Engine {
@@ -211,6 +396,11 @@ impl Engine {
     pub fn stats(&self) -> Stats {
         stats()
     }
+
+    /// Robustness snapshot (mode + degradation counters).
+    pub fn health(&self) -> Health {
+        health()
+    }
 }
 
 impl Drop for Engine {
@@ -229,7 +419,25 @@ pub fn stats() -> Stats {
         sites_patched: counters::get(&counters::SITES_PATCHED),
         dispatches: counters::get(&counters::DISPATCHES),
         unpatchable_emulations: counters::get(&counters::UNPATCHABLE_EMULATIONS),
+        disabled_mode_emulations: counters::get(&counters::DISABLED_MODE_EMULATIONS),
         signals_wrapped: counters::get(&counters::SIGNALS_WRAPPED),
+        patch_retries: counters::get(&counters::PATCH_RETRIES),
+        pages_blocklisted: counters::get(&counters::PAGES_BLOCKLISTED),
+        quarantined_handlers: interpose::quarantined_handlers(),
+    }
+}
+
+/// Robustness snapshot (also available without a handle): the active
+/// [`Mode`] plus the counters describing degradations taken so far.
+pub fn health() -> Health {
+    let stats = stats();
+    Health {
+        mode: mode(),
+        patch_blocklist_pages: blocklist::len() as u64,
+        quarantined_handlers: stats.quarantined_handlers,
+        faults_injected: faultinject::total_injected(),
+        patch_retries: stats.patch_retries,
+        stats,
     }
 }
 
@@ -251,6 +459,22 @@ mod tests {
     fn init_error_display() {
         let e = InitError::Sud(io::Error::from_raw_os_error(libc::EINVAL));
         assert!(e.to_string().contains("dispatch unavailable"));
+        let e = InitError::Unavailable {
+            trampoline: io::Error::from_raw_os_error(libc::EPERM),
+            sud: io::Error::from_raw_os_error(libc::ENOSYS),
+        };
+        let s = e.to_string();
+        assert!(s.contains("no interposition mechanism"), "{s}");
+        assert!(s.contains("trampoline:"), "{s}");
+    }
+
+    #[test]
+    fn mode_defaults_to_uninitialized_in_unit_tests() {
+        // Unit tests never run engine init (it would rewrite this test
+        // process); the health snapshot must still be readable.
+        let h = health();
+        assert_eq!(h.stats, stats());
+        assert!(h.patch_blocklist_pages <= crate::blocklist::CAPACITY as u64);
     }
 
     // End-to-end engine tests live in the workspace `tests/` directory

@@ -45,6 +45,7 @@
 
 #![deny(missing_docs)]
 
+mod blocklist;
 mod clone;
 mod counters;
 mod engine;
@@ -54,7 +55,7 @@ mod signals;
 mod slowpath;
 mod tls;
 
-pub use engine::{init, stats, Config, Engine, InitError, Stats};
+pub use engine::{health, init, mode, stats, Config, Engine, Health, InitError, Mode, Stats};
 pub use zpoline::XstateMask;
 
 #[cfg(test)]
@@ -65,5 +66,7 @@ mod tests {
         assert_traits::<super::Config>();
         assert_traits::<super::Stats>();
         assert_traits::<super::InitError>();
+        assert_traits::<super::Health>();
+        assert_traits::<super::Mode>();
     }
 }

@@ -12,24 +12,39 @@
 //!    syscall and re-arms the selector on exit — giving the paper's
 //!    single shared handling implementation for both paths.
 //!
-//! If the site cannot be patched (e.g. unwritable special mapping), the
-//! syscall is emulated right here through the same shared
-//! [`crate::fastpath::handle_syscall`] logic, and the selector is
-//! re-armed through the sigreturn trampoline.
+//! When the site is not rewritten, the syscall is emulated right here
+//! through the same shared [`crate::fastpath::handle_syscall`] logic,
+//! and the selector is re-armed through the sigreturn trampoline. The
+//! reasons are kept distinct (they answer different questions):
+//!
+//! * **rewriting disabled** — a configuration state (pure-SUD mode, or
+//!   the `Mode::SudOnly` degradation rung), counted as
+//!   `DISABLED_MODE_EMULATIONS`;
+//! * **page blocklisted** — a previous patch attempt failed
+//!   persistently, so the page's `SIGSYS` trips skip straight to
+//!   emulation (counted as `UNPATCHABLE_EMULATIONS`);
+//! * **patch failed** — this attempt failed, after a bounded retry for
+//!   transient `mprotect` errors; persistent `mprotect` failures insert
+//!   the page into the blocklist (also `UNPATCHABLE_EMULATIONS`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use sud::sigsys::{SigsysInfo, UContext};
 use sud::Dispatch;
+use syscalls::Errno;
 use zpoline::RawFrame;
 
-use crate::counters::{self, SITES_PATCHED, SLOW_PATH_HITS, UNPATCHABLE_EMULATIONS};
-use crate::{fastpath, signals, tls};
+use crate::counters::{
+    self, DISABLED_MODE_EMULATIONS, PAGES_BLOCKLISTED, PATCH_RETRIES, SITES_PATCHED,
+    SLOW_PATH_HITS, UNPATCHABLE_EMULATIONS,
+};
+use crate::{blocklist, fastpath, signals, tls};
 
 /// When false, the slow path never rewrites: every dispatched syscall
 /// is emulated in the handler, which turns the engine into a pure
 /// SUD interposer — the configuration Table II's "SUD" row measures,
-/// and an ablation of the paper's central design choice.
+/// an ablation of the paper's central design choice, and the engine's
+/// `Mode::SudOnly` degradation rung (no trampoline to `call` into).
 pub(crate) static LAZY_REWRITING: AtomicBool = AtomicBool::new(true);
 
 /// When true (default), a `SIGSYS` for an unpatched site rewrites every
@@ -40,6 +55,20 @@ pub(crate) static LAZY_REWRITING: AtomicBool = AtomicBool::new(true);
 /// [`crate::Config::batch_rewriting`] to ablate (the `ablate` bench
 /// compares `SITES_PATCHED` vs `SLOW_PATH_HITS` across both modes).
 pub(crate) static BATCH_REWRITING: AtomicBool = AtomicBool::new(true);
+
+/// Additional patch attempts after a transient `mprotect` failure
+/// (`EAGAIN`/`ENOMEM`). Plain capped re-attempts — no sleeping in a
+/// signal handler.
+const PATCH_RETRY_LIMIT: u32 = 3;
+
+/// Why the faulting site is being emulated instead of rewritten.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EmulationReason {
+    /// Lazy rewriting is off — a configuration state, not a failure.
+    RewritingDisabled,
+    /// The page is blocklisted or this patch attempt failed.
+    Unpatchable,
+}
 
 /// The process-wide `SIGSYS` handler.
 ///
@@ -65,10 +94,44 @@ pub(crate) unsafe extern "C" fn sigsys_handler(
 
     let mut uc = UContext::from_ptr(ctx);
     let insn = si.syscall_insn_addr();
+    let page = insn & !4095;
 
-    let patch_result = if !LAZY_REWRITING.load(Ordering::Relaxed) {
-        Err(zpoline::PatchError::TrampolineMissing)
-    } else if BATCH_REWRITING.load(Ordering::Relaxed) {
+    let emulate_reason = if !LAZY_REWRITING.load(Ordering::Relaxed) {
+        Some(EmulationReason::RewritingDisabled)
+    } else if blocklist::contains(page) {
+        // Negative cache hit: this page's mprotect window is known
+        // broken — skip the lock + maps walk + doomed mprotect.
+        Some(EmulationReason::Unpatchable)
+    } else {
+        match patch_with_retry(insn, page) {
+            Ok(zpoline::PatchOutcome::Patched) => {
+                counters::bump(&SITES_PATCHED);
+                None
+            }
+            // Another thread raced us; re-execute through the fast
+            // path all the same.
+            Ok(zpoline::PatchOutcome::AlreadyPatched) => None,
+            Err(_) => Some(EmulationReason::Unpatchable),
+        }
+    };
+
+    match emulate_reason {
+        None => uc.set_rip(insn as u64),
+        Some(reason) => {
+            counters::bump(match reason {
+                EmulationReason::RewritingDisabled => &DISABLED_MODE_EMULATIONS,
+                EmulationReason::Unpatchable => &UNPATCHABLE_EMULATIONS,
+            });
+            emulate_in_handler(&mut uc);
+        }
+    }
+    // Return with the selector at ALLOW; the kernel's sigreturn cannot
+    // recurse, and the fast path re-arms BLOCK on its way out.
+}
+
+/// One patch attempt honouring the batch-rewriting setting.
+unsafe fn patch_once(insn: usize) -> Result<zpoline::PatchOutcome, zpoline::PatchError> {
+    if BATCH_REWRITING.load(Ordering::Relaxed) {
         // Page-granular batch rewriting: one SIGSYS pays the
         // lock/mprotect cost for every verifiable site on the page.
         zpoline::patch_page_sites(insn).map(|batch| {
@@ -79,55 +142,96 @@ pub(crate) unsafe extern "C" fn sigsys_handler(
         })
     } else {
         zpoline::patch_syscall_site(insn)
-    };
-    match patch_result {
-        Ok(zpoline::PatchOutcome::Patched) => {
-            counters::bump(&SITES_PATCHED);
-            uc.set_rip(insn as u64);
-        }
-        Ok(zpoline::PatchOutcome::AlreadyPatched) => {
-            // Another thread raced us; re-execute through the fast path
-            // all the same.
-            uc.set_rip(insn as u64);
-        }
-        Err(_) => {
-            // Unpatchable site: emulate the syscall here through the
-            // shared dispatcher logic (paper §IV-A(c): one handling
-            // implementation), then re-arm the selector via the
-            // sigreturn trampoline.
-            counters::bump(&UNPATCHABLE_EMULATIONS);
-            let args = uc.syscall_args();
-            let mut frame = RawFrame {
-                nr: args.nr,
-                a1: args.args[0],
-                a2: args.args[1],
-                a3: args.args[2],
-                a4: args.args[3],
-                a5: args.args[4],
-                a6: args.args[5],
-                saved_rbx: 0,
-                saved_rbp: 0,
-                ret_addr: uc.rip(),
-            };
-            let was = tls::set_in_dispatch(true);
-            let ret = fastpath::handle_syscall(&mut frame, true);
-            tls::set_in_dispatch(was);
-            uc.set_rax(ret);
-            let restore = if tls::enrolled() {
-                Dispatch::Block
-            } else {
-                Dispatch::Allow
-            };
-            if tls::push_sigreturn(restore.as_byte(), uc.rip()) {
-                uc.set_rip(signals::lp_sigreturn_tramp as *const () as usize as u64);
+    }
+}
+
+/// Patches `insn`, retrying transient `mprotect` failures a bounded
+/// number of times; a still-failing `mprotect` blocklists the page so
+/// future `SIGSYS` trips on it go straight to emulation.
+unsafe fn patch_with_retry(
+    insn: usize,
+    page: usize,
+) -> Result<zpoline::PatchOutcome, zpoline::PatchError> {
+    let mut result = patch_once(insn);
+    let mut retries = 0;
+    while retries < PATCH_RETRY_LIMIT {
+        match result {
+            Err(zpoline::PatchError::MprotectFailed(e))
+                if e == Errno::EAGAIN || e == Errno::ENOMEM =>
+            {
+                counters::bump(&PATCH_RETRIES);
+                retries += 1;
+                std::hint::spin_loop();
+                result = patch_once(insn);
             }
-            // On overflow: resume directly with ALLOW; interposition of
-            // new sites on this thread pauses until the next wrapped
-            // event — safe degradation.
+            _ => break,
         }
     }
-    // Return with the selector at ALLOW; the kernel's sigreturn cannot
-    // recurse, and the fast path re-arms BLOCK on its way out.
+    if let Err(zpoline::PatchError::MprotectFailed(_)) = result {
+        // Persistent mprotect failure: negative-cache the page.
+        // (Non-mprotect errors — unmapped address, foreign bytes — are
+        // not page properties, so they are not cached.)
+        if blocklist::insert(page) {
+            counters::bump(&PAGES_BLOCKLISTED);
+        }
+    }
+    result
+}
+
+/// Emulates the intercepted syscall inside the handler through the
+/// shared dispatcher logic (paper §IV-A(c): one handling
+/// implementation), then re-arms the selector via the sigreturn
+/// trampoline.
+///
+/// The `slowpath_emulate` fault seam fires *before* the handler is
+/// notified: an injected fault means the syscall never executed and the
+/// application sees the errno — exactly the contract of a real
+/// `EINTR`/`EAGAIN` from the kernel, and therefore not a lost
+/// interposition. The engine's *internal* emulations
+/// ([`fastpath::needs_emulation`]: `rt_sigreturn`, signal-table and
+/// task-management plumbing) are exempt — the kernel cannot fail those
+/// with a transient errno, and pretending it can would corrupt signal
+/// frames rather than model any real fault.
+unsafe fn emulate_in_handler(uc: &mut UContext) {
+    let nr_ = uc.syscall_args().nr;
+    let injected = if fastpath::needs_emulation(nr_) {
+        None
+    } else {
+        faultinject::check(faultinject::Site::SlowpathEmulate)
+    };
+    let ret = if let Some(e) = injected {
+        Errno::new(e).as_ret()
+    } else {
+        let args = uc.syscall_args();
+        let mut frame = RawFrame {
+            nr: args.nr,
+            a1: args.args[0],
+            a2: args.args[1],
+            a3: args.args[2],
+            a4: args.args[3],
+            a5: args.args[4],
+            a6: args.args[5],
+            saved_rbx: 0,
+            saved_rbp: 0,
+            ret_addr: uc.rip(),
+        };
+        let was = tls::set_in_dispatch(true);
+        let ret = fastpath::handle_syscall(&mut frame, true);
+        tls::set_in_dispatch(was);
+        ret
+    };
+    uc.set_rax(ret);
+    let restore = if tls::enrolled() {
+        Dispatch::Block
+    } else {
+        Dispatch::Allow
+    };
+    if tls::push_sigreturn(restore.as_byte(), uc.rip()) {
+        uc.set_rip(signals::lp_sigreturn_tramp as *const () as usize as u64);
+    }
+    // On overflow: resume directly with ALLOW; interposition of
+    // new sites on this thread pauses until the next wrapped
+    // event — safe degradation.
 }
 
 /// Delivers a non-SUD `SIGSYS` to the application handler recorded in

@@ -40,7 +40,9 @@ pub type sighandler_t = usize;
 
 // ——— errno ———————————————————————————————————————————————————————————
 
+pub const EPERM: c_int = 1;
 pub const EINVAL: c_int = 22;
+pub const ENOSYS: c_int = 38;
 
 // ——— memory protection / mmap ————————————————————————————————————————
 

@@ -117,13 +117,37 @@ pub fn selector() -> Dispatch {
     Dispatch::from_byte(SELECTOR.with(|c| c.get()))
 }
 
+/// Bounded attempts in [`set_selector`]'s write-verify loop before the
+/// store is issued unconditionally.
+const SELECTOR_WRITE_ATTEMPTS: u32 = 3;
+
 /// Writes the calling thread's selector.
 ///
 /// This is the single-byte store that makes SUD "flexibly controllable"
 /// (paper §II-A): interposer code brackets its own syscalls with
 /// `set_selector(Allow)` / `set_selector(Block)`.
+///
+/// The write is verified by reading the byte back, and retried if the
+/// store was dropped (the `selector_write` fault seam models exactly
+/// that). After [`SELECTOR_WRITE_ATTEMPTS`] injected drops the store is
+/// issued unconditionally: the selector byte is the engine's lifeline —
+/// a missing ALLOW store would make the `SIGSYS` handler's own syscalls
+/// recurse fatally, and a missing BLOCK store would silently stop
+/// interposition — so this seam degrades to *detected-and-repaired*,
+/// never to a lost write.
 pub fn set_selector(d: Dispatch) {
-    SELECTOR.with(|c| c.set(d.as_byte()));
+    SELECTOR.with(|c| {
+        for _ in 0..SELECTOR_WRITE_ATTEMPTS {
+            if faultinject::check(faultinject::Site::SelectorWrite).is_none() {
+                c.set(d.as_byte());
+            }
+            // Write-verify: a dropped store leaves a stale byte behind.
+            if c.get() == d.as_byte() {
+                return;
+            }
+        }
+        c.set(d.as_byte());
+    });
 }
 
 /// Enables SUD on the calling thread with no allowlisted code range.
@@ -154,6 +178,11 @@ pub fn enable_thread() -> io::Result<()> {
 ///
 /// Returns the `prctl` error on failure.
 pub fn enable_thread_with_allowlist(offset: u64, len: u64) -> io::Result<()> {
+    // Fault seam: models the prctl failing (kernel without SUD, or a
+    // seccomp filter rejecting it) without needing such a kernel.
+    if let Some(e) = faultinject::check(faultinject::Site::SudEnroll) {
+        return Err(io::Error::from_raw_os_error(e));
+    }
     let r = unsafe {
         libc::prctl(
             PR_SET_SYSCALL_USER_DISPATCH,

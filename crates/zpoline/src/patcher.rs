@@ -259,6 +259,13 @@ pub unsafe fn patch_syscall_site(addr: usize) -> Result<PatchOutcome, PatchError
     // The 2-byte instruction may straddle a page boundary.
     let len = if addr + 2 > page + 4096 { 8192 } else { 4096 };
 
+    // Fault seam: models the opening mprotect failing (transient VMA
+    // pressure or a hardened page). Checked before the real syscall so
+    // an injected failure leaves the page untouched, exactly like a
+    // real EAGAIN/ENOMEM would.
+    if let Some(e) = faultinject::check(faultinject::Site::PatchMprotect) {
+        return Err(PatchError::MprotectFailed(Errno::new(e)));
+    }
     let rwx = libc::PROT_READ | libc::PROT_WRITE | libc::PROT_EXEC;
     let r = raw::syscall3(nr::MPROTECT, page as u64, len as u64, rwx as u64);
     if let Err(e) = Errno::result(r) {
@@ -347,6 +354,13 @@ pub unsafe fn patch_page_sites(addr: usize) -> Result<BatchOutcome, PatchError> 
     // The 2-byte instruction may straddle a page boundary.
     let len = if addr + 2 > page + 4096 { 8192 } else { 4096 };
 
+    // Fault seam: models the opening mprotect failing (transient VMA
+    // pressure or a hardened page). Checked before the real syscall so
+    // an injected failure leaves the page untouched, exactly like a
+    // real EAGAIN/ENOMEM would.
+    if let Some(e) = faultinject::check(faultinject::Site::PatchMprotect) {
+        return Err(PatchError::MprotectFailed(Errno::new(e)));
+    }
     let rwx = libc::PROT_READ | libc::PROT_WRITE | libc::PROT_EXEC;
     let r = raw::syscall3(nr::MPROTECT, page as u64, len as u64, rwx as u64);
     if let Err(e) = Errno::result(r) {

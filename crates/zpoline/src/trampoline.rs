@@ -285,6 +285,14 @@ impl Trampoline {
             return Ok(Trampoline { sled_len });
         }
 
+        // Fault seam: lets tests and CI force the "page zero
+        // unavailable" environment without actually changing
+        // vm.mmap_min_addr. Placed after the idempotency check — an
+        // already-live trampoline cannot retroactively fail.
+        if let Some(e) = faultinject::check(faultinject::Site::TrampolineInstall) {
+            return Err(io::Error::from_raw_os_error(e));
+        }
+
         LP_DISPATCH_PTR
             .compare_exchange(
                 0,

@@ -180,7 +180,10 @@ fn scenario_sud_only() {
     engine.unenroll_current_thread();
     let stats = engine.stats();
     assert_eq!(stats.sites_patched, 0, "{stats:?}");
-    assert!(stats.unpatchable_emulations >= 5, "{stats:?}");
+    // Disabled rewriting is a *configuration* state, counted apart from
+    // genuine patch failures.
+    assert!(stats.disabled_mode_emulations >= 5, "{stats:?}");
+    assert_eq!(stats.unpatchable_emulations, 0, "{stats:?}");
     assert!(stats.slow_path_hits >= 5, "{stats:?}");
 }
 
@@ -497,6 +500,451 @@ fn scenario_batch_ablation() {
     engine.unenroll_current_thread();
 }
 
+// ——— robustness scenarios (fault injection / degradation) ———————————
+
+/// One interposable `getpid` through inline asm — a single, distinct
+/// syscall site owned by this test (`#[inline(never)]` keeps it one
+/// site however often it is called).
+#[inline(never)]
+fn asm_getpid() -> u64 {
+    let ret: u64;
+    unsafe {
+        std::arch::asm!(
+            "mov eax, 39",
+            "syscall",
+            out("rax") ret,
+            out("rcx") _, out("r11") _,
+            in("rdi") 0u64, in("rsi") 0u64, in("rdx") 0u64,
+            in("r10") 0u64, in("r8") 0u64, in("r9") 0u64,
+        );
+    }
+    ret
+}
+
+fn scenario_fault_sud_only() {
+    // The trampoline install fails (injected) → the engine must degrade
+    // to Mode::SudOnly and still observe every syscall.
+    let counter: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
+    struct Fwd(&'static CountHandler);
+    impl SyscallHandler for Fwd {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            self.0.handle(ev)
+        }
+    }
+    interpose::set_global_handler(Box::new(Fwd(counter)));
+    faultinject::arm(
+        faultinject::Site::TrampolineInstall,
+        faultinject::Schedule::FirstK(1),
+        None,
+    );
+    let engine = lazypoline::init(Config::default()).expect("init must degrade, not fail");
+    assert_eq!(lazypoline::mode(), lazypoline::Mode::SudOnly);
+    assert!(engine.is_enrolled());
+
+    let pid = std::process::id() as u64;
+    for i in 0..20 {
+        assert_eq!(asm_getpid(), pid, "call {i}");
+    }
+    let tmp = std::env::temp_dir().join(format!("lp-fsud-{}", std::process::id()));
+    std::fs::write(&tmp, b"degraded but alive").unwrap();
+    assert_eq!(std::fs::read(&tmp).unwrap(), b"degraded but alive");
+    std::fs::remove_file(&tmp).unwrap();
+
+    engine.unenroll_current_thread();
+    let h = lazypoline::health();
+    assert_eq!(h.mode, lazypoline::Mode::SudOnly);
+    assert!(h.faults_injected >= 1, "{h:?}");
+    assert_eq!(h.stats.sites_patched, 0, "SudOnly must never rewrite: {h:?}");
+    assert!(h.stats.disabled_mode_emulations >= 20, "{h:?}");
+    assert!(
+        counter.count(syscalls::nr::GETPID) >= 20,
+        "lost interpositions in SudOnly: {}",
+        counter.count(syscalls::nr::GETPID)
+    );
+    faultinject::disarm_all();
+}
+
+fn scenario_fault_unpatchable_page() {
+    // A page whose mprotect persistently fails (injected): bounded
+    // retry, then blocklist; the syscall itself must still succeed via
+    // emulation, and the site's bytes stay untouched.
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config::default()).expect("init");
+    unsafe {
+        let p = emit_getpid_page(2);
+        let pid = std::process::id() as u64;
+        let f0: extern "C" fn() -> u64 = std::mem::transmute(p);
+        let f1: extern "C" fn() -> u64 = std::mem::transmute(p.add(64));
+        // Warm the snapshot path so the armed window below performs no
+        // syscalls besides the JIT sites under test.
+        let _ = lazypoline::health();
+
+        faultinject::arm(
+            faultinject::Site::PatchMprotect,
+            faultinject::Schedule::EveryNth(1),
+            None, // default EAGAIN: transient, so the retry loop engages
+        );
+        let before = lazypoline::health();
+        let r0 = f0();
+        let mid = lazypoline::health();
+        let mut rs = [0u64; 5];
+        for r in rs.iter_mut() {
+            *r = f0();
+        }
+        let after = lazypoline::health();
+        faultinject::disarm(faultinject::Site::PatchMprotect);
+
+        // (Asserting only now: format!/panic machinery may syscall.)
+        assert_eq!(r0, pid, "emulation returned the wrong result");
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(*r, pid, "blocklisted call {i}");
+        }
+        // Exactly one retry burst: initial attempt + PATCH_RETRY_LIMIT
+        // retries, then the page was blocklisted.
+        assert_eq!(mid.patch_retries - before.patch_retries, 3, "{mid:?}");
+        assert_eq!(
+            mid.stats.pages_blocklisted - before.stats.pages_blocklisted,
+            1,
+            "{mid:?}"
+        );
+        assert_eq!(mid.patch_blocklist_pages - before.patch_blocklist_pages, 1);
+        assert_eq!(
+            mid.stats.unpatchable_emulations - before.stats.unpatchable_emulations,
+            1
+        );
+        assert_eq!(mid.faults_injected - before.faults_injected, 4);
+        // The five follow-up trips short-circuited on the blocklist: no
+        // further patch attempts, no further retries.
+        assert_eq!(after.patch_retries, mid.patch_retries, "{after:?}");
+        assert_eq!(after.faults_injected, mid.faults_injected, "{after:?}");
+        assert_eq!(
+            after.stats.unpatchable_emulations - mid.stats.unpatchable_emulations,
+            5
+        );
+        assert_eq!(after.stats.pages_blocklisted, mid.stats.pages_blocklisted);
+        // The site's bytes were never rewritten.
+        assert_eq!(*p.add(5), 0x0f, "syscall opcode gone");
+        assert_eq!(*p.add(6), 0x05, "syscall opcode gone");
+
+        // Even disarmed, the other site on the same page goes straight
+        // to emulation via the blocklist.
+        let s0 = lazypoline::stats();
+        assert_eq!(f1(), pid);
+        let s1 = lazypoline::stats();
+        assert_eq!(s1.unpatchable_emulations - s0.unpatchable_emulations, 1);
+        assert_eq!(s1.sites_patched, s0.sites_patched);
+
+        // A fresh page is unaffected and patches normally.
+        let q = emit_getpid_page(1);
+        let g: extern "C" fn() -> u64 = std::mem::transmute(q);
+        assert_eq!(g(), pid);
+        let s2 = lazypoline::stats();
+        assert!(s2.sites_patched > s1.sites_patched, "{s2:?}");
+        libc::munmap(q as *mut _, 4096);
+        libc::munmap(p as *mut _, 4096);
+    }
+    engine.unenroll_current_thread();
+}
+
+fn scenario_fault_soak() {
+    // Multi-threaded hammer with each seam armed in turn; nothing may
+    // abort and no interposition may be lost.
+    let counter: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
+    struct Fwd(&'static CountHandler);
+    impl SyscallHandler for Fwd {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            self.0.handle(ev)
+        }
+    }
+    interpose::set_global_handler(Box::new(Fwd(counter)));
+
+    // Phase 1 arms via the environment path (covers arm_from_env).
+    std::env::set_var("LAZYPOLINE_FAULTS", "patch_mprotect:every=5");
+    let engine = lazypoline::init(Config::default()).expect("init");
+    assert_eq!(lazypoline::mode(), lazypoline::Mode::Hybrid);
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let p = std::env::temp_dir().join(format!("lp-soak-{i}-{}", std::process::id()));
+                for _ in 0..50 {
+                    std::fs::write(&p, b"x").unwrap();
+                    let _ = std::fs::read(&p).unwrap();
+                }
+                std::fs::remove_file(&p).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        counter.count(syscalls::nr::WRITE) >= 200,
+        "lost writes under patch faults: {}",
+        counter.count(syscalls::nr::WRITE)
+    );
+    assert!(
+        faultinject::injected(faultinject::Site::PatchMprotect) > 0,
+        "env-armed seam never fired"
+    );
+    assert!(lazypoline::stats().patch_retries > 0, "retry path never exercised");
+    faultinject::disarm(faultinject::Site::PatchMprotect);
+
+    // Phase 2: dropped selector writes — repaired transparently.
+    let base = counter.count(syscalls::nr::WRITE);
+    faultinject::arm_from_spec("selector_write:every=7").unwrap();
+    let p = std::env::temp_dir().join(format!("lp-soak-sel-{}", std::process::id()));
+    for _ in 0..50 {
+        std::fs::write(&p, b"y").unwrap();
+    }
+    std::fs::remove_file(&p).unwrap();
+    faultinject::disarm(faultinject::Site::SelectorWrite);
+    assert!(counter.count(syscalls::nr::WRITE) >= base + 50);
+    assert!(faultinject::injected(faultinject::Site::SelectorWrite) > 0);
+
+    // Phase 3: transient enrollment failure at thread creation — the
+    // clone shim's bounded retry must still enroll the thread.
+    let base = counter.count(syscalls::nr::WRITE);
+    faultinject::arm(
+        faultinject::Site::SudEnroll,
+        faultinject::Schedule::FirstK(2),
+        None,
+    );
+    std::thread::spawn(|| {
+        let p = std::env::temp_dir().join(format!("lp-soak-enr-{}", std::process::id()));
+        for _ in 0..25 {
+            std::fs::write(&p, b"z").unwrap();
+        }
+        std::fs::remove_file(&p).unwrap();
+    })
+    .join()
+    .unwrap();
+    faultinject::disarm_all();
+    assert!(
+        counter.count(syscalls::nr::WRITE) >= base + 25,
+        "thread lost interposition after transient enroll faults"
+    );
+    assert_eq!(faultinject::injected(faultinject::Site::SudEnroll), 2);
+
+    engine.unenroll_current_thread();
+    let h = lazypoline::health();
+    assert!(h.faults_injected >= 3, "{h:?}");
+    assert_eq!(h.stats.quarantined_handlers, 0, "{h:?}");
+}
+
+fn scenario_fault_soak_sudonly() {
+    // Pure-SUD hammer with emulation faults (EINTR) and dropped
+    // selector writes injected concurrently: every call either succeeds
+    // or observes a clean EINTR — never a wrong result, never a crash.
+    use std::sync::atomic::AtomicBool;
+    static READY: AtomicU64 = AtomicU64::new(0);
+    static START: AtomicBool = AtomicBool::new(false);
+    static DONE: AtomicU64 = AtomicU64::new(0);
+    static EXIT: AtomicBool = AtomicBool::new(false);
+    static OK_CALLS: AtomicU64 = AtomicU64::new(0);
+    static EINTR_CALLS: AtomicU64 = AtomicU64::new(0);
+    static BAD_CALLS: AtomicU64 = AtomicU64::new(0);
+    const THREADS: u64 = 4;
+    const CALLS: u64 = 200;
+
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config {
+        lazy_rewriting: false,
+        ..Config::default()
+    })
+    .expect("init");
+    let pid = std::process::id() as u64;
+    let eintr = syscalls::Errno::EINTR.as_ret();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                // Allocation- and syscall-free between the gates: with
+                // the emulate seam armed, *any* syscall can fail.
+                READY.fetch_add(1, Ordering::SeqCst);
+                while !START.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                for _ in 0..CALLS {
+                    let r = asm_getpid();
+                    if r == pid {
+                        OK_CALLS.fetch_add(1, Ordering::SeqCst);
+                    } else if r == eintr {
+                        EINTR_CALLS.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        BAD_CALLS.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                DONE.fetch_add(1, Ordering::SeqCst);
+                while !EXIT.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+            })
+        })
+        .collect();
+
+    // Arm only once every thread is parked at the start line — thread
+    // startup itself performs syscalls that must stay clean.
+    while READY.load(Ordering::SeqCst) < THREADS {
+        std::hint::spin_loop();
+    }
+    faultinject::arm(
+        faultinject::Site::SlowpathEmulate,
+        faultinject::Schedule::EveryNth(7),
+        None, // default EINTR
+    );
+    faultinject::arm(
+        faultinject::Site::SelectorWrite,
+        faultinject::Schedule::EveryNth(9),
+        None,
+    );
+    START.store(true, Ordering::SeqCst);
+    while DONE.load(Ordering::SeqCst) < THREADS {
+        std::hint::spin_loop();
+    }
+    faultinject::disarm_all();
+    EXIT.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let ok = OK_CALLS.load(Ordering::SeqCst);
+    let intr = EINTR_CALLS.load(Ordering::SeqCst);
+    let bad = BAD_CALLS.load(Ordering::SeqCst);
+    assert_eq!(bad, 0, "corrupted syscall results under fault soak");
+    assert_eq!(ok + intr, THREADS * CALLS, "lost calls");
+    assert!(ok > 0 && intr > 0, "soak did not exercise both outcomes: ok={ok} intr={intr}");
+    assert_eq!(
+        intr,
+        faultinject::injected(faultinject::Site::SlowpathEmulate),
+        "every injected emulate fault must surface as exactly one EINTR"
+    );
+    assert!(faultinject::injected(faultinject::Site::SelectorWrite) > 0);
+    assert_eq!(sud::selector(), sud::Dispatch::Block, "selector repair failed");
+    engine.unenroll_current_thread();
+}
+
+fn scenario_panic_quarantine() {
+    // A handler panicking mid-stream is quarantined: the panic is
+    // contained, the triggering syscall and all later ones pass
+    // through, and a fresh handler revives interposition.
+    static EVENTS: AtomicU64 = AtomicU64::new(0);
+    struct PanicOnThird;
+    impl SyscallHandler for PanicOnThird {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            if ev.call.nr == syscalls::nr::GETPID {
+                let n = EVENTS.fetch_add(1, Ordering::SeqCst) + 1;
+                if n == 3 {
+                    panic!("deliberate handler bug on event {n}");
+                }
+            }
+            Action::Passthrough
+        }
+    }
+
+    let pid = std::process::id() as u64;
+    // The panic is expected; keep its backtrace out of the output.
+    std::panic::set_hook(Box::new(|_| {}));
+    interpose::set_global_handler(Box::new(PanicOnThird));
+    let engine = lazypoline::init(Config::default()).expect("init");
+
+    for i in 0..10 {
+        assert_eq!(asm_getpid(), pid, "call {i} returned garbage");
+    }
+    assert_eq!(
+        EVENTS.load(Ordering::SeqCst),
+        3,
+        "handler kept running after its panic"
+    );
+    let h = lazypoline::health();
+    assert_eq!(h.quarantined_handlers, 1, "{h:?}");
+
+    // Installing a fresh handler lifts the quarantine.
+    let counter: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
+    struct Fwd(&'static CountHandler);
+    impl SyscallHandler for Fwd {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            self.0.handle(ev)
+        }
+    }
+    interpose::set_global_handler(Box::new(Fwd(counter)));
+    for _ in 0..5 {
+        assert_eq!(asm_getpid(), pid);
+    }
+    assert!(
+        counter.count(syscalls::nr::GETPID) >= 5,
+        "interposition not revived after quarantine"
+    );
+    assert_eq!(lazypoline::health().quarantined_handlers, 1);
+    engine.unenroll_current_thread();
+}
+
+fn scenario_fault_prescan_only() {
+    // SUD enrollment fails persistently (injected) → the engine must
+    // degrade to Mode::PrescanOnly: statically rewritten libc sites
+    // still dispatch, nothing SIGSYS-based runs.
+    let counter: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
+    struct Fwd(&'static CountHandler);
+    impl SyscallHandler for Fwd {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            self.0.handle(ev)
+        }
+    }
+    interpose::set_global_handler(Box::new(Fwd(counter)));
+    faultinject::arm(
+        faultinject::Site::SudEnroll,
+        faultinject::Schedule::EveryNth(1),
+        None,
+    );
+    let engine = lazypoline::init(Config::default()).expect("init must degrade, not fail");
+    faultinject::disarm_all();
+
+    assert_eq!(lazypoline::mode(), lazypoline::Mode::PrescanOnly);
+    assert!(!engine.is_enrolled(), "nothing to enroll in without SUD");
+
+    let tmp = std::env::temp_dir().join(format!("lp-prescan-{}", std::process::id()));
+    std::fs::write(&tmp, b"prescan").unwrap();
+    assert_eq!(std::fs::read(&tmp).unwrap(), b"prescan");
+    std::fs::remove_file(&tmp).unwrap();
+
+    let h = lazypoline::health();
+    assert_eq!(h.mode, lazypoline::Mode::PrescanOnly);
+    assert!(h.faults_injected >= 1, "{h:?}");
+    assert_eq!(h.stats.slow_path_hits, 0, "SIGSYS fired without SUD: {h:?}");
+    assert!(h.stats.sites_patched >= 1, "prescan rewrote nothing: {h:?}");
+    assert!(
+        counter.count(syscalls::nr::WRITE) >= 1,
+        "prescanned libc write not interposed"
+    );
+}
+
+fn scenario_degraded_smoke() {
+    // Honors whatever LAZYPOLINE_FAULTS the harness (e.g. the CI fault
+    // matrix) passed through: init must succeed — degraded if need be —
+    // and basic I/O must keep working.
+    let spec = std::env::var("LAZYPOLINE_FAULTS").unwrap_or_default();
+    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
+    let engine = lazypoline::init(Config::default()).expect("init must degrade, not fail");
+
+    let tmp = std::env::temp_dir().join(format!("lp-degraded-{}", std::process::id()));
+    std::fs::write(&tmp, b"degraded").unwrap();
+    assert_eq!(std::fs::read(&tmp).unwrap(), b"degraded");
+    std::fs::remove_file(&tmp).unwrap();
+
+    let h = lazypoline::health();
+    let expected = if spec.contains("trampoline_install") {
+        lazypoline::Mode::SudOnly
+    } else if spec.contains("sud_enroll") {
+        lazypoline::Mode::PrescanOnly
+    } else {
+        lazypoline::Mode::Hybrid
+    };
+    assert_eq!(h.mode, expected, "spec={spec:?} health={h:?}");
+    if !spec.is_empty() {
+        assert!(h.faults_injected >= 1, "armed faults never fired: {h:?}");
+    }
+    engine.unenroll_current_thread();
+}
+
 // ——— harness ————————————————————————————————————————————————————————
 
 const SCENARIOS: &[(&str, fn())] = &[
@@ -515,6 +963,13 @@ const SCENARIOS: &[(&str, fn())] = &[
     ("path_remap", scenario_path_remap),
     ("batch_rewrite", scenario_batch_rewrite),
     ("batch_ablation", scenario_batch_ablation),
+    ("fault_sud_only", scenario_fault_sud_only),
+    ("fault_unpatchable_page", scenario_fault_unpatchable_page),
+    ("fault_soak", scenario_fault_soak),
+    ("fault_soak_sudonly", scenario_fault_soak_sudonly),
+    ("panic_quarantine", scenario_panic_quarantine),
+    ("fault_prescan_only", scenario_fault_prescan_only),
+    ("degraded_smoke", scenario_degraded_smoke),
 ];
 
 fn main() {
@@ -534,12 +989,21 @@ fn main() {
     }
 
     let exe = std::env::current_exe().expect("self path");
+    // Most scenarios arm faults via the API and assert exact deltas, so
+    // ambient LAZYPOLINE_FAULTS (the CI fault matrix exports it for the
+    // whole run) is stripped; degraded_smoke is the one scenario that
+    // deliberately honours it.
+    let ambient_faults = std::env::var("LAZYPOLINE_FAULTS").ok();
     let mut failed = Vec::new();
     for (name, _) in SCENARIOS {
-        let status = Command::new(&exe)
-            .env("LP_SCENARIO", name)
-            .status()
-            .expect("spawn scenario");
+        let mut cmd = Command::new(&exe);
+        cmd.env("LP_SCENARIO", name).env_remove("LAZYPOLINE_FAULTS");
+        if *name == "degraded_smoke" {
+            if let Some(spec) = &ambient_faults {
+                cmd.env("LAZYPOLINE_FAULTS", spec);
+            }
+        }
+        let status = cmd.status().expect("spawn scenario");
         if status.success() {
             println!("native_engine::{name} ... ok");
         } else {

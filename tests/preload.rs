@@ -33,6 +33,9 @@ fn ls_runs_under_preload_with_stats() {
     };
     let out = Command::new("/bin/ls")
         .arg("/")
+        // The fault-injection CI matrix exports LAZYPOLINE_FAULTS for
+        // the whole test run; these tests assert *healthy* behaviour.
+        .env_remove("LAZYPOLINE_FAULTS")
         .env("LD_PRELOAD", &so)
         .env("LAZYPOLINE_MODE", "count")
         .env("LAZYPOLINE_STATS", "1")
@@ -67,6 +70,7 @@ fn trace_mode_emits_syscall_lines() {
         return;
     };
     let out = Command::new("/bin/true")
+        .env_remove("LAZYPOLINE_FAULTS")
         .env("LD_PRELOAD", &so)
         .env("LAZYPOLINE_MODE", "trace")
         .output()
@@ -94,6 +98,7 @@ fn xstate_none_mode_still_works_for_coreutils() {
     // asserts only that the no-xstate configuration is functional.
     let out = Command::new("/bin/cat")
         .arg("/proc/self/cmdline")
+        .env_remove("LAZYPOLINE_FAULTS")
         .env("LD_PRELOAD", &so)
         .env("LAZYPOLINE_XSTATE", "none")
         .output()
