@@ -14,7 +14,7 @@
 //! here); the *shape* — ordering and where the gaps close with file
 //! size — is the reproduction target.
 
-use lp_bench::macrobench::{run_fig5, MacroCell, ServerInterposition, SweepConfig};
+use lp_bench::macrobench::{run_fig5, MacroCell, SweepConfig, MECHANISMS};
 use lp_bench::report::Table;
 use httpd::Flavor;
 
@@ -28,7 +28,7 @@ fn main() {
         "Figure 5 sweep: {:?} sizes x {:?} workers x {} configs x {:.1}s cells\n",
         sweep.sizes,
         sweep.worker_counts,
-        sweep.configs.len(),
+        sweep.mechanisms.len(),
         sweep.secs
     );
     let cells = run_fig5(&sweep).expect("sweep");
@@ -44,26 +44,22 @@ fn main() {
             }
             println!("\n{} — {} worker(s): % of baseline throughput", flavor.name(), workers);
             let mut header = vec!["size".to_string()];
-            header.extend(
-                ServerInterposition::all()
-                    .iter()
-                    .map(|c| c.name().to_string()),
-            );
+            header.extend(MECHANISMS.iter().map(|m| m.to_string()));
             let mut table = Table::new(header);
             for &size in &sweep.sizes {
                 let base = group
                     .iter()
-                    .find(|c| c.size == size && c.interposition == ServerInterposition::Baseline)
+                    .find(|c| c.size == size && c.mechanism == "none")
                     .map(|c| c.rps)
                     .unwrap_or(0.0);
                 let mut row = vec![human_size(size)];
-                for config in ServerInterposition::all() {
+                for mech in MECHANISMS {
                     let cell = group
                         .iter()
-                        .find(|c| c.size == size && c.interposition == config);
+                        .find(|c| c.size == size && c.mechanism == mech);
                     match cell {
                         Some(c) if base > 0.0 => {
-                            if config == ServerInterposition::Baseline {
+                            if mech == "none" {
                                 row.push(format!("{:.0} rps", c.rps));
                             } else {
                                 row.push(format!("{:.1}%", 100.0 * c.rps / base));

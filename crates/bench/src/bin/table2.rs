@@ -26,6 +26,29 @@ const PAPER: &[(&str, f64)] = &[
     ("baseline with SUD enabled (selector=ALLOW)", 1.42),
 ];
 
+/// Attaches a row's mechanism counter snapshot (install-to-teardown
+/// deltas, including the PR-2 robustness counters) to its JSON object.
+fn with_stats(row: Json, stats: Option<&mechanism::StatsSnapshot>) -> Json {
+    let Some(s) = stats else { return row };
+    row.field(
+        "mechanism_stats",
+        Json::obj()
+            .field("mechanism", Json::Str(s.mechanism.into()))
+            .field("dispatches", Json::Int(s.dispatches))
+            .field("slow_path_hits", Json::Int(s.slow_path_hits))
+            .field("sites_patched", Json::Int(s.sites_patched))
+            .field("unpatchable_emulations", Json::Int(s.unpatchable_emulations))
+            .field(
+                "disabled_mode_emulations",
+                Json::Int(s.disabled_mode_emulations),
+            )
+            .field("signals_wrapped", Json::Int(s.signals_wrapped))
+            .field("patch_retries", Json::Int(s.patch_retries))
+            .field("pages_blocklisted", Json::Int(s.pages_blocklisted))
+            .field("quarantined_handlers", Json::Int(s.quarantined_handlers)),
+    )
+}
+
 fn main() {
     let json_mode = std::env::args().any(|a| a == "--json");
     let native = micro::environment_supported();
@@ -110,13 +133,16 @@ fn main() {
             .field("bench", Json::Str("table2".into()))
             .field("native_supported", Json::Bool(native));
         if let Some(results) = &results {
-            let mut rows = vec![Json::obj()
-                .field("name", Json::Str("baseline".into()))
-                .field("cycles_per_call", Json::Num(results.baseline.cycles()))
-                .field("vs_baseline", Json::Num(1.0))
-                .field("stddev_pct", Json::Num(results.baseline.stddev_pct()))];
+            let mut rows = vec![with_stats(
+                Json::obj()
+                    .field("name", Json::Str("baseline".into()))
+                    .field("cycles_per_call", Json::Num(results.baseline.cycles()))
+                    .field("vs_baseline", Json::Num(1.0))
+                    .field("stddev_pct", Json::Num(results.baseline.stddev_pct())),
+                results.snapshot_for("baseline"),
+            )];
             for (name, ratio, sd) in results.rows() {
-                rows.push(
+                rows.push(with_stats(
                     Json::obj()
                         .field("name", Json::Str(name.into()))
                         .field(
@@ -125,7 +151,8 @@ fn main() {
                         )
                         .field("vs_baseline", Json::Num(ratio))
                         .field("stddev_pct", Json::Num(sd)),
-                );
+                    results.snapshot_for(name),
+                ));
             }
             root = root
                 .field("iters", Json::Int(results.iters))

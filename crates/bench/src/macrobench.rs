@@ -1,22 +1,25 @@
 //! The native Figure 5 web-server macrobenchmark.
 //!
-//! For every (server flavour × worker count × file size ×
-//! interposition) cell, a fresh server process is forked, configured,
-//! and measured over localhost with the wrk-like keep-alive client —
-//! the paper's §V-B(b) setup scaled to this machine.
+//! For every (server flavour × worker count × file size × mechanism)
+//! cell, a fresh server process is forked, configured, and measured
+//! over localhost with the wrk-like keep-alive client — the paper's
+//! §V-B(b) setup scaled to this machine.
 //!
-//! Interposition configurations:
+//! Interposition rows are **mechanism registry names**
+//! ([`mechanism::by_name`]), not a private enum: the server child
+//! installs whatever backend the cell names, so any registered native
+//! configuration can be swept. [`MECHANISMS`] holds the Figure 5 rows:
 //!
-//! * `Baseline` — no machinery.
-//! * `Lazypoline` / `LazypolineNoX` — the hybrid engine with/without
-//!   extended-state preservation.
-//! * `Sud` — the engine with lazy rewriting disabled: every syscall
-//!   takes the SIGSYS slow path (pure SUD interposition).
-//! * `Zpoline` — the engine primed by a warmup phase, then detached
+//! * `none` — no machinery.
+//! * `zpoline` — the engine primed by a warmup phase, then detached
 //!   from SUD (`SIGUSR1` → unenroll): all hot sites are rewritten and
 //!   dispatch through the trampoline with the kernel's SUD machinery
 //!   completely off — the paper's own method for isolating pure
 //!   rewriting performance (Fig. 4).
+//! * `lazypoline-nox` / `lazypoline` — the hybrid engine without/with
+//!   extended-state preservation.
+//! * `sud` — the engine with lazy rewriting disabled: every syscall
+//!   takes the SIGSYS slow path (pure SUD interposition).
 
 use std::io::{self, Read, Write};
 use std::os::fd::FromRawFd;
@@ -24,48 +27,12 @@ use std::sync::atomic::AtomicBool;
 use std::time::Duration;
 
 use httpd::{Docroot, Flavor, LoadConfig, Server, ServerConfig};
-use lazypoline::{Config, XstateMask};
 
 use crate::{env_f64, env_u64};
 
-/// Interposition applied to the server process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ServerInterposition {
-    /// Native execution.
-    Baseline,
-    /// Primed rewriting, SUD off.
-    Zpoline,
-    /// Hybrid engine, no xstate preservation.
-    LazypolineNoX,
-    /// Hybrid engine, full xstate preservation.
-    Lazypoline,
-    /// Pure SUD (lazy rewriting disabled).
-    Sud,
-}
-
-impl ServerInterposition {
-    /// Row label.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ServerInterposition::Baseline => "baseline",
-            ServerInterposition::Zpoline => "zpoline",
-            ServerInterposition::LazypolineNoX => "lazypoline (no xstate)",
-            ServerInterposition::Lazypoline => "lazypoline",
-            ServerInterposition::Sud => "SUD",
-        }
-    }
-
-    /// All configurations in Figure 5 order.
-    pub fn all() -> [ServerInterposition; 5] {
-        [
-            ServerInterposition::Baseline,
-            ServerInterposition::Zpoline,
-            ServerInterposition::LazypolineNoX,
-            ServerInterposition::Lazypoline,
-            ServerInterposition::Sud,
-        ]
-    }
-}
+/// The Figure 5 interposition rows, as mechanism registry names, in
+/// presentation order.
+pub const MECHANISMS: [&str; 5] = ["none", "zpoline", "lazypoline-nox", "lazypoline", "sud"];
 
 /// One measured cell of Figure 5.
 #[derive(Clone, Debug)]
@@ -76,8 +43,8 @@ pub struct MacroCell {
     pub workers: usize,
     /// Served file size in bytes.
     pub size: usize,
-    /// Interposition configuration.
-    pub interposition: ServerInterposition,
+    /// Mechanism registry name the server ran under.
+    pub mechanism: &'static str,
     /// Measured requests per second.
     pub rps: f64,
     /// Client-observed errors.
@@ -93,8 +60,8 @@ pub struct SweepConfig {
     pub worker_counts: Vec<usize>,
     /// File sizes (paper: 64B–256KB).
     pub sizes: Vec<usize>,
-    /// Interposition rows.
-    pub configs: Vec<ServerInterposition>,
+    /// Mechanism registry names to sweep.
+    pub mechanisms: Vec<&'static str>,
     /// Measured seconds per cell.
     pub secs: f64,
     /// Client keep-alive connections.
@@ -107,28 +74,36 @@ impl Default for SweepConfig {
             flavors: vec![Flavor::NginxLike, Flavor::LighttpdLike],
             worker_counts: vec![1, env_u64("LP_BENCH_WORKERS", 12) as usize],
             sizes: vec![64, 4 << 10, 64 << 10, 256 << 10],
-            configs: ServerInterposition::all().to_vec(),
+            mechanisms: MECHANISMS.to_vec(),
             secs: env_f64("LP_BENCH_SECS", 1.5),
             connections: env_u64("LP_BENCH_CONNS", 4) as usize,
         }
     }
 }
 
-/// Runs one cell: forks the server, applies the configuration,
-/// measures throughput, and tears the server down.
+/// Runs one cell: forks the server, installs the named mechanism in the
+/// child, measures throughput, and tears the server down.
 ///
 /// # Errors
 ///
 /// I/O errors from the fork/pipe/load plumbing.
+///
+/// # Panics
+///
+/// Panics if `mech` is not a registered mechanism name.
 pub fn run_cell(
     docroot: &Docroot,
     flavor: Flavor,
     workers: usize,
     size: usize,
-    interposition: ServerInterposition,
+    mech: &'static str,
     secs: f64,
     connections: usize,
 ) -> io::Result<MacroCell> {
+    assert!(
+        mechanism::by_name(mech).is_some(),
+        "{mech} is not a registered mechanism"
+    );
     let (read_fd, write_fd) = pipe()?;
 
     // SAFETY: standard fork; the child only uses async-signal-safe-ish
@@ -139,7 +114,7 @@ pub fn run_cell(
     }
     if pid == 0 {
         drop(read_fd);
-        server_child(docroot, flavor, workers, interposition, write_fd);
+        server_child(docroot, flavor, workers, mech, write_fd);
     }
     drop(write_fd);
 
@@ -159,7 +134,7 @@ pub fn run_cell(
         duration: Duration::from_millis(300),
     });
 
-    if interposition == ServerInterposition::Zpoline {
+    if mech == "zpoline" {
         // Detach the primed server from SUD.
         unsafe { libc::kill(-pid, libc::SIGUSR1) };
         std::thread::sleep(Duration::from_millis(100));
@@ -181,7 +156,7 @@ pub fn run_cell(
         flavor,
         workers,
         size,
-        interposition,
+        mechanism: mech,
         rps: report.rps(),
         errors: report.errors,
     })
@@ -191,13 +166,14 @@ fn server_child(
     docroot: &Docroot,
     flavor: Flavor,
     workers: usize,
-    interposition: ServerInterposition,
+    mech: &'static str,
     mut write_fd: std::fs::File,
 ) -> ! {
     unsafe { libc::setpgid(0, 0) };
 
     // SIGUSR1 = "drop out of SUD" (zpoline detach). Registered before
-    // engine init; the engine adopts it into the wrapper protocol.
+    // the mechanism installs; the engine adopts it into the wrapper
+    // protocol.
     unsafe {
         let mut sa: libc::sigaction = std::mem::zeroed();
         sa.sa_sigaction = sigusr1_unenroll as *const () as usize;
@@ -205,29 +181,15 @@ fn server_child(
         libc::sigaction(libc::SIGUSR1, &sa, std::ptr::null_mut());
     }
 
-    let engine_config = match interposition {
-        ServerInterposition::Baseline => None,
-        ServerInterposition::Zpoline => Some(Config {
-            xstate: XstateMask::None,
-            ..Config::default()
-        }),
-        ServerInterposition::LazypolineNoX => Some(Config {
-            xstate: XstateMask::None,
-            ..Config::default()
-        }),
-        ServerInterposition::Lazypoline => Some(Config::default()),
-        ServerInterposition::Sud => Some(Config {
-            lazy_rewriting: false,
-            ..Config::default()
-        }),
-    };
-    if let Some(cfg) = engine_config {
-        match lazypoline::init(cfg) {
-            Ok(engine) => std::mem::forget(engine),
-            Err(e) => {
-                eprintln!("server child: interposition unavailable: {e}");
-                std::process::exit(2);
-            }
+    let backend = mechanism::by_name(mech).expect("validated by run_cell");
+    match backend.install(Box::new(interpose::PassthroughHandler)) {
+        // The server runs under the mechanism until SIGKILL; never tear
+        // down (teardown in the event loop would race in-flight
+        // requests for no benefit in a throwaway child).
+        Ok(active) => std::mem::forget(active),
+        Err(e) => {
+            eprintln!("server child: mechanism {mech} unavailable: {e}");
+            std::process::exit(2);
         }
     }
 
@@ -256,8 +218,7 @@ unsafe extern "C" fn sigusr1_unenroll(
     _info: *mut libc::siginfo_t,
     _ctx: *mut libc::c_void,
 ) {
-    sud::set_selector(sud::Dispatch::Allow);
-    let _ = sud::disable_thread();
+    mechanism::detach_current_thread();
 }
 
 fn pipe() -> io::Result<(std::fs::File, std::fs::File)> {
@@ -286,13 +247,13 @@ pub fn run_fig5(sweep: &SweepConfig) -> io::Result<Vec<MacroCell>> {
     for &flavor in &sweep.flavors {
         for &workers in &sweep.worker_counts {
             for &size in &sweep.sizes {
-                for &config in &sweep.configs {
+                for &mech in &sweep.mechanisms {
                     let cell = run_cell(
                         &docroot,
                         flavor,
                         workers,
                         size,
-                        config,
+                        mech,
                         sweep.secs,
                         sweep.connections,
                     )?;
@@ -301,7 +262,7 @@ pub fn run_fig5(sweep: &SweepConfig) -> io::Result<Vec<MacroCell>> {
                         flavor.name(),
                         workers,
                         size,
-                        config.name(),
+                        mech,
                         cell.rps,
                         cell.errors,
                     );
@@ -318,11 +279,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn config_names_and_order() {
-        let all = ServerInterposition::all();
-        assert_eq!(all.len(), 5);
-        assert_eq!(all[0].name(), "baseline");
-        assert_eq!(all[4].name(), "SUD");
+    fn mechanism_rows_are_registered() {
+        for mech in MECHANISMS {
+            assert!(
+                mechanism::by_name(mech).is_some(),
+                "{mech} must resolve in the registry"
+            );
+        }
+        assert_eq!(MECHANISMS[0], "none");
+        assert_eq!(MECHANISMS[4], "sud");
     }
 
     #[test]
@@ -330,6 +295,7 @@ mod tests {
         let s = SweepConfig::default();
         assert!(s.sizes.contains(&(256 << 10)));
         assert_eq!(s.worker_counts[0], 1);
+        assert_eq!(s.mechanisms, MECHANISMS.to_vec());
         assert!(s.secs > 0.0);
     }
 

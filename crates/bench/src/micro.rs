@@ -1,34 +1,42 @@
 //! The native Table II / Figure 4 microbenchmark.
 //!
 //! "We measure the CPU cycles required to interpose a non-existent
-//! syscall (number 500) 100M times" (§V-B(a)). Each configuration gets
-//! its own benchmark loop with its own `syscall` instruction so lazy
-//! rewriting of one site cannot contaminate another configuration:
+//! syscall (number 500) 100M times" (§V-B(a)). One generic driver
+//! measures every row: each Table II configuration is a *named backend*
+//! in the `mechanism` registry ([`TABLE2_PLAN`]), installed around a
+//! passthrough handler, measured, and torn down — no per-mechanism
+//! engine-state sequencing lives here.
+//!
+//! Each configuration gets its own benchmark loop with its own
+//! `syscall` instruction so lazy rewriting of one site cannot
+//! contaminate another configuration:
 //!
 //! * `loop_plain` — never intercepted: used for the bare baseline and
 //!   for "baseline with SUD enabled (selector=ALLOW)".
 //! * `loop_sud` — used for the pure-SUD row; the loop re-arms the
 //!   selector to BLOCK each iteration because the (non-rewriting)
-//!   handler leaves it at ALLOW on return.
+//!   `sud-raw` handler leaves it at ALLOW on return. The re-arm store
+//!   is part of the measured workload, exactly as in the classic
+//!   deployment.
 //! * `loop_fast` — patched once by the lazypoline slow path, then
 //!   measured in steady state for the zpoline and lazypoline rows
 //!   (the paper does the same: "we manually rewrote the syscall
 //!   instruction up front, so there is no initial execution of the
 //!   slow path").
 //!
-//! The zpoline row reuses the lazypoline fast path with SUD disabled —
-//! exactly the paper's Figure 4 methodology: "we run the microbenchmark
-//! of lazypoline's fast path again with SUD disabled […] without the
-//! SUD overhead, lazypoline's fast path matches zpoline".
+//! The zpoline row reuses the lazypoline fast path with SUD disabled
+//! ([`mechanism::ActiveMechanism::detach`] after priming) — exactly the
+//! paper's Figure 4 methodology: "we run the microbenchmark of
+//! lazypoline's fast path again with SUD disabled […] without the SUD
+//! overhead, lazypoline's fast path matches zpoline".
 
 use std::arch::asm;
 use std::arch::x86_64::_rdtsc;
 
-use lazypoline::{Config, XstateMask};
-use sud::sigsys::UContext;
+use mechanism::XstateMask;
 
+use crate::env_u64;
 use crate::report::{geomean, rel_stddev_pct};
-use crate::{env_u64};
 
 /// One configuration's measurement across runs.
 #[derive(Clone, Debug)]
@@ -66,6 +74,9 @@ pub struct MicroResults {
     pub lazypoline: Measurement,
     /// Pure SUD interposition (SIGSYS per syscall).
     pub sud: Measurement,
+    /// Per-row mechanism counters (row label → delta snapshot covering
+    /// that row's install-to-teardown window), in measurement order.
+    pub stats: Vec<(&'static str, mechanism::StatsSnapshot)>,
     /// Iterations per run used.
     pub iters: u64,
     /// Runs per configuration.
@@ -86,6 +97,14 @@ impl MicroResults {
         .into_iter()
         .map(|m| (m.name, m.cycles() / base, m.stddev_pct()))
         .collect()
+    }
+
+    /// The mechanism counter snapshot recorded for a row label.
+    pub fn snapshot_for(&self, label: &str) -> Option<&mechanism::StatsSnapshot> {
+        self.stats
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, s)| s)
     }
 }
 
@@ -125,6 +144,9 @@ fn loop_fast(iters: u64) {
 fn loop_sud(iters: u64) {
     debug_assert!(iters > 0);
     let sel = sud::selector_ptr();
+    // After the final iteration the handler has left the selector at
+    // ALLOW, so the loop exits disarmed; the backend's teardown restores
+    // the rest (SUD off, previous SIGSYS disposition).
     unsafe {
         asm!(
             "2:",
@@ -138,22 +160,6 @@ fn loop_sud(iters: u64) {
             out("rax") _, out("rcx") _, out("r11") _,
         );
     }
-    sud::set_selector(sud::Dispatch::Allow);
-}
-
-/// The pure-SUD benchmark handler: emulate the syscall in the SIGSYS
-/// handler without any rewriting (the classic deployment's behaviour,
-/// minus the allowlist bookkeeping the loop replaces).
-unsafe extern "C" fn sud_only_handler(
-    _sig: libc::c_int,
-    _info: *mut libc::siginfo_t,
-    ctx: *mut libc::c_void,
-) {
-    sud::set_selector(sud::Dispatch::Allow);
-    let mut uc = UContext::from_ptr(ctx);
-    let ret = syscalls::raw::syscall(uc.syscall_args());
-    uc.set_rax(ret);
-    // Return with ALLOW; the benchmark loop re-arms BLOCK.
 }
 
 fn time_loop(f: fn(u64), iters: u64) -> f64 {
@@ -178,10 +184,108 @@ pub fn environment_supported() -> bool {
     zpoline::Trampoline::environment_supported() && sud::is_supported()
 }
 
-/// Runs the full Table II benchmark session.
+/// One Table II row: a `mechanism` registry name plus how to measure
+/// it. The driver knows nothing about what a backend *is* — install,
+/// optionally prime/detach, time the loop, snapshot the counters.
+struct RowSpec {
+    /// Registry key for [`mechanism::by_name`].
+    backend: &'static str,
+    /// Table II row label.
+    label: &'static str,
+    /// The measured loop.
+    body: fn(u64),
+    /// Run one iteration after install so the lazy rewriter patches the
+    /// loop's shared syscall site before timing.
+    prime: bool,
+    /// Detach from SUD after priming — the zpoline row: patched site,
+    /// pure rewriting, no SUD.
+    detach: bool,
+    /// Bound iterations by `LP_BENCH_SUD_ITERS` (the raw-SUD row pays a
+    /// full signal round trip per iteration).
+    capped: bool,
+}
+
+/// The Table II measurement plan, in execution order.
+///
+/// Ordering constraint: `sud-raw` owns the `SIGSYS` disposition and
+/// must run before any engine-backed row initialises the engine
+/// (process-global, one-way).
+const TABLE2_PLAN: [RowSpec; 6] = [
+    RowSpec {
+        backend: "none",
+        label: "baseline",
+        body: loop_plain,
+        prime: false,
+        detach: false,
+        capped: false,
+    },
+    RowSpec {
+        backend: "sud-allow",
+        label: "baseline with SUD enabled (selector=ALLOW)",
+        body: loop_plain,
+        prime: false,
+        detach: false,
+        capped: false,
+    },
+    RowSpec {
+        backend: "sud-raw",
+        label: "SUD",
+        body: loop_sud,
+        prime: false,
+        detach: false,
+        capped: true,
+    },
+    RowSpec {
+        backend: "lazypoline",
+        label: "lazypoline",
+        body: loop_fast,
+        prime: true,
+        detach: false,
+        capped: false,
+    },
+    RowSpec {
+        backend: "lazypoline-nox",
+        label: "lazypoline without xstate preservation",
+        body: loop_fast,
+        prime: true,
+        detach: false,
+        capped: false,
+    },
+    RowSpec {
+        backend: "zpoline",
+        label: "zpoline",
+        body: loop_fast,
+        prime: true,
+        detach: true,
+    capped: false,
+    },
+];
+
+/// Installs `row.backend` by name, measures `row.body`, and returns the
+/// timing plus the backend's counter deltas for the window.
+fn measure_row(row: &RowSpec, iters: u64, runs: u64) -> (Measurement, mechanism::StatsSnapshot) {
+    let backend = mechanism::by_name(row.backend)
+        .unwrap_or_else(|| panic!("{} is not in the mechanism registry", row.backend));
+    let mut active = backend
+        .install(Box::new(interpose::PassthroughHandler))
+        .unwrap_or_else(|e| panic!("install {}: {e}", row.backend));
+    if row.prime {
+        (row.body)(1);
+    }
+    if row.detach {
+        active.detach();
+    }
+    let m = measure(row.label, row.body, iters, runs);
+    let stats = active.stats();
+    (m, stats)
+}
+
+/// Runs the full Table II benchmark session through the generic driver.
 ///
 /// Iterations and run counts come from `LP_BENCH_ITERS` (default
-/// 200_000) and `LP_BENCH_RUNS` (default 10, like the paper).
+/// 200_000) and `LP_BENCH_RUNS` (default 10, like the paper); the
+/// raw-SUD row is additionally bounded by `LP_BENCH_SUD_ITERS`
+/// (default 50_000).
 ///
 /// # Panics
 ///
@@ -191,51 +295,25 @@ pub fn run_table2() -> MicroResults {
     assert!(environment_supported(), "SUD or page-zero unavailable");
     let iters = env_u64("LP_BENCH_ITERS", 200_000).max(1);
     let runs = env_u64("LP_BENCH_RUNS", 10).max(1);
-
-    // Phase 1: bare baseline (no machinery at all).
-    let baseline = measure("baseline", loop_plain, iters, runs);
-
-    // Phase 2: SUD enabled, selector ALLOW, same untouched site.
-    sud::enable_thread().expect("SUD probe passed");
-    let sud_enabled_allow = measure(
-        "baseline with SUD enabled (selector=ALLOW)",
-        loop_plain,
-        iters,
-        runs,
-    );
-    sud::disable_thread().expect("disable");
-
-    // Phase 3: pure SUD interposition with a non-rewriting handler.
-    // (Must run before lazypoline::init claims the SIGSYS slot.)
-    let old = unsafe { sud::sigsys::install_sigsys_handler(sud_only_handler) }.expect("sigaction");
-    sud::enable_thread().expect("enable");
-    // loop_sud arms BLOCK itself; keep iteration count bounded — each
-    // iteration costs a full signal round trip.
     let sud_iters = iters.min(env_u64("LP_BENCH_SUD_ITERS", 50_000)).max(1);
-    let sud_m = measure("SUD", loop_sud, sud_iters, runs);
-    sud::set_selector(sud::Dispatch::Allow);
-    sud::disable_thread().expect("disable");
-    unsafe { libc::sigaction(libc::SIGSYS, &old, std::ptr::null_mut()) };
 
-    // Phase 4: lazypoline with full xstate preservation.
-    let engine = lazypoline::init(Config {
-        xstate: XstateMask::Avx,
-        ..Config::default()
-    })
-    .expect("lazypoline init");
-    loop_fast(1); // lazy rewrite of the fast site
-    let lazypoline_m = measure("lazypoline", loop_fast, iters, runs);
-
-    // Phase 5: same site, no xstate preservation.
-    zpoline::set_xstate_mask(XstateMask::None);
-    let lazypoline_nox = measure("lazypoline without xstate preservation", loop_fast, iters, runs);
-
-    // Phase 6: SUD disabled entirely — the zpoline configuration.
-    engine.unenroll_current_thread();
-    let zpoline_m = measure("zpoline", loop_fast, iters, runs);
-
-    // Restore defaults for anything running after us in-process.
-    zpoline::set_xstate_mask(XstateMask::Avx);
+    let mut measurements = Vec::with_capacity(TABLE2_PLAN.len());
+    let mut stats = Vec::with_capacity(TABLE2_PLAN.len());
+    for row in &TABLE2_PLAN {
+        let row_iters = if row.capped { sud_iters } else { iters };
+        let (m, s) = measure_row(row, row_iters, runs);
+        stats.push((row.label, s));
+        measurements.push(m);
+    }
+    let mut it = measurements.into_iter();
+    let (baseline, sud_enabled_allow, sud_m, lazypoline_m, lazypoline_nox, zpoline_m) = (
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+    );
 
     MicroResults {
         baseline,
@@ -244,6 +322,7 @@ pub fn run_table2() -> MicroResults {
         lazypoline_nox,
         lazypoline: lazypoline_m,
         sud: sud_m,
+        stats,
         iters,
         runs,
     }
@@ -269,66 +348,58 @@ pub struct DispatchCost {
 }
 
 /// One iteration of the dispatcher's interest-gated hot-path decision
-/// sequence: one relaxed interest-word load + bit test, then either
-/// the full event/virtual-call/post machinery or the raw syscall.
-/// This is the code `lazypoline_dispatch` runs after frame capture,
-/// reproduced over the public `interpose` API so the comparison runs
-/// on hosts without page zero or SUD.
+/// sequence.
+///
+/// This loop is **not** a reproduction of that sequence: it calls the
+/// exported shared decision function [`interpose::interpose_syscall`] —
+/// the same inline function `fastpath::lazypoline_dispatch` and the
+/// raw-SUD handler run — so the benchmark cannot drift from the
+/// production decision path. (See the equivalence unit test below and
+/// `interpose_syscall_matches_dispatch_global` in `lp-interpose`.)
 #[inline(never)]
 fn loop_interest_dispatch(iters: u64) {
-    use interpose::Action;
     let args = syscalls::SyscallArgs::nullary(syscalls::NONEXISTENT_SYSCALL);
     for _ in 0..iters {
-        let ret = if interpose::global_interested(args.nr) {
-            let mut ev = interpose::SyscallEvent::new(args);
-            match interpose::dispatch_global(&mut ev) {
-                Action::Passthrough => {
-                    // SAFETY: syscall 500 does not exist; the kernel
-                    // returns ENOSYS without touching memory.
-                    let r = unsafe { syscalls::raw::syscall(ev.call) };
-                    interpose::post_global(&ev, r)
-                }
-                Action::Return(v) => v,
-                Action::Fail(e) => e.as_ret(),
-            }
-        } else {
-            // SAFETY: as above.
-            unsafe { syscalls::raw::syscall(args) }
-        };
+        let ret = interpose::interpose_syscall(args, 0, |call| {
+            // SAFETY: syscall 500 does not exist; the kernel returns
+            // ENOSYS without touching memory.
+            unsafe { syscalls::raw::syscall(call) }
+        });
         std::hint::black_box(ret);
     }
 }
 
 /// Measures the per-syscall dispatch cost with an all-syscalls handler
-/// vs an interest-scoped one (tentpole: syscall-interest filtering).
-/// Runs on any host — no SUD, no page zero: the filter's effect lives
-/// entirely in the dispatcher's decision sequence.
+/// vs an interest-scoped one (syscall-interest filtering). Runs on any
+/// host — no SUD, no page zero: the filter's effect lives entirely in
+/// the dispatcher's decision sequence.
 pub fn run_dispatch_cost() -> DispatchCost {
     let iters = env_u64("LP_BENCH_ITERS", 200_000).max(1);
     let runs = env_u64("LP_BENCH_RUNS", 10).max(1);
 
-    interpose::set_global_handler(Box::new(interpose::CountHandler::new()));
+    let guard = interpose::install_handler(Box::new(interpose::CountHandler::new()));
     let all_syscalls = measure(
         "dispatch, all-syscalls handler",
         loop_interest_dispatch,
         iters,
         runs,
     );
+    drop(guard);
 
     // A policy that only cares about openat: syscall 500 fails the
-    // interest test, so the dispatch loop takes the raw-syscall arm.
+    // interest test, so the shared decision function takes the raw arm.
     let policy = interpose::PolicyBuilder::allow_by_default()
         .deny(syscalls::nr::OPENAT)
         .build();
-    interpose::set_global_handler(Box::new(policy));
+    let guard = interpose::install_handler(Box::new(policy));
     let interest_filtered = measure(
         "dispatch, PolicyHandler scoped to openat",
         loop_interest_dispatch,
         iters,
         runs,
     );
+    drop(guard);
 
-    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
     DispatchCost {
         iters,
         runs,
@@ -353,10 +424,10 @@ pub struct BatchPhase {
 pub struct BatchAblation {
     /// Distinct syscall sites emitted on the JIT page.
     pub sites: usize,
-    /// Deltas with `Config::batch_rewriting = true` (one `SIGSYS`
-    /// should sweep the whole page).
+    /// Deltas under the `lazypoline` backend (one `SIGSYS` should
+    /// sweep the whole page).
     pub batched: BatchPhase,
-    /// Deltas with batching off (one `SIGSYS` per site).
+    /// Deltas under `lazypoline-nobatch` (one `SIGSYS` per site).
     pub unbatched: BatchPhase,
 }
 
@@ -392,15 +463,13 @@ unsafe fn emit_getpid_page(count: usize) -> *mut u8 {
     p
 }
 
-fn batch_phase(batch: bool, sites: usize) -> BatchPhase {
-    // init() is idempotent for the process-global machinery but stores
-    // the batching switch on every call, so the same process can
-    // measure both settings back to back.
-    let engine = lazypoline::init(Config {
-        batch_rewriting: batch,
-        ..Config::default()
-    })
-    .expect("lazypoline init");
+fn batch_phase(backend: &'static str, sites: usize) -> BatchPhase {
+    // The batching switch is carried by the backend name; installing
+    // either re-inits the process-global engine with that setting.
+    let active = mechanism::by_name(backend)
+        .expect("registered backend")
+        .install(Box::new(interpose::PassthroughHandler))
+        .expect("install");
     let (slow, patched);
     unsafe {
         let p = emit_getpid_page(sites);
@@ -408,17 +477,17 @@ fn batch_phase(batch: bool, sites: usize) -> BatchPhase {
         // libc's own getpid syscall site cannot contribute its SIGSYS
         // to the deltas.
         let pid = libc::getpid() as u64;
-        let before = lazypoline::stats();
+        let before = active.stats();
         for i in 0..sites {
             let f: extern "C" fn() -> u64 = std::mem::transmute(p.add(i * 64));
             assert_eq!(f(), pid, "JIT site {i}");
         }
-        let after = lazypoline::stats();
+        let after = active.stats();
         slow = after.slow_path_hits - before.slow_path_hits;
         patched = after.sites_patched - before.sites_patched;
         libc::munmap(p as *mut _, 4096);
     }
-    engine.unenroll_current_thread();
+    drop(active);
     BatchPhase {
         slow_path_hits: slow,
         sites_patched: patched,
@@ -434,8 +503,8 @@ fn batch_phase(batch: bool, sites: usize) -> BatchPhase {
 pub fn run_batch_ablation() -> BatchAblation {
     assert!(environment_supported(), "SUD or page-zero unavailable");
     let sites = env_u64("LP_BENCH_BATCH_SITES", 16).clamp(1, 64) as usize;
-    let unbatched = batch_phase(false, sites);
-    let batched = batch_phase(true, sites);
+    let unbatched = batch_phase("lazypoline-nobatch", sites);
+    let batched = batch_phase("lazypoline", sites);
     BatchAblation {
         sites,
         batched,
@@ -445,14 +514,16 @@ pub fn run_batch_ablation() -> BatchAblation {
 
 /// Measures the fast path under every [`XstateMask`] level — the
 /// tuning space of the paper's configurable preservation option
-/// (§IV-B(b)). Requires the engine to be live and the fast site primed
-/// (call after [`run_table2`], or standalone — it initializes on
-/// demand).
+/// (§IV-B(b)). Standalone: installs the `lazypoline` backend and
+/// sweeps [`mechanism::ActiveMechanism::set_xstate`].
 pub fn run_xstate_sweep() -> Vec<(XstateMask, Measurement)> {
     assert!(environment_supported(), "SUD or page-zero unavailable");
     let iters = env_u64("LP_BENCH_ITERS", 200_000).max(1);
     let runs = env_u64("LP_BENCH_RUNS", 10).max(1);
-    let engine = lazypoline::init(Config::default()).expect("lazypoline init");
+    let mut active = mechanism::by_name("lazypoline")
+        .expect("registered backend")
+        .install(Box::new(interpose::PassthroughHandler))
+        .expect("install");
     loop_fast(1); // ensure the site is rewritten
     let mut out = Vec::new();
     for mask in [
@@ -461,7 +532,7 @@ pub fn run_xstate_sweep() -> Vec<(XstateMask, Measurement)> {
         XstateMask::Sse,
         XstateMask::Avx,
     ] {
-        zpoline::set_xstate_mask(mask);
+        assert!(active.set_xstate(mask), "lazypoline is engine-backed");
         let name = match mask {
             XstateMask::None => "xstate: none",
             XstateMask::X87 => "xstate: x87",
@@ -470,8 +541,7 @@ pub fn run_xstate_sweep() -> Vec<(XstateMask, Measurement)> {
         };
         out.push((mask, measure(name, loop_fast, iters, runs)));
     }
-    zpoline::set_xstate_mask(XstateMask::Avx);
-    engine.unenroll_current_thread();
+    // Teardown (drop) restores the default mask and unenrolls.
     out
 }
 
@@ -487,6 +557,59 @@ mod tests {
         };
         assert!((m.cycles() - 99.66).abs() < 0.1);
         assert!(m.stddev_pct() > 0.0);
+    }
+
+    #[test]
+    fn table2_plan_names_resolve_and_order_raw_sud_first() {
+        let mut engine_seen = false;
+        for row in &TABLE2_PLAN {
+            assert!(
+                mechanism::by_name(row.backend).is_some(),
+                "{} must be registered",
+                row.backend
+            );
+            if row.backend.starts_with("lazypoline") || row.backend == "zpoline" {
+                engine_seen = true;
+            }
+            if row.backend == "sud-raw" {
+                assert!(!engine_seen, "sud-raw must precede every engine row");
+            }
+        }
+    }
+
+    #[test]
+    fn interest_dispatch_loop_matches_dispatch_global() {
+        use interpose::{Action, SyscallEvent, SyscallHandler};
+
+        // A handler that decides 500 with a sentinel: observable only
+        // if the loop really consults the shared decision function.
+        struct Sentinel;
+        impl SyscallHandler for Sentinel {
+            fn handle(&self, ev: &mut SyscallEvent) -> Action {
+                if ev.call.nr == syscalls::NONEXISTENT_SYSCALL {
+                    Action::Return(0xBEEF)
+                } else {
+                    Action::Passthrough
+                }
+            }
+        }
+        let _guard = interpose::install_handler(Box::new(Sentinel));
+
+        let args = syscalls::SyscallArgs::nullary(syscalls::NONEXISTENT_SYSCALL);
+        let via_shared = interpose::interpose_syscall(args, 0, |call| {
+            // SAFETY: nonexistent syscall, returns ENOSYS.
+            unsafe { syscalls::raw::syscall(call) }
+        });
+        let mut ev = interpose::SyscallEvent::new(args);
+        let expected = match interpose::dispatch_global(&mut ev) {
+            Action::Passthrough => unreachable!("Sentinel decides 500"),
+            Action::Return(v) => v,
+            Action::Fail(e) => e.as_ret(),
+        };
+        assert_eq!(via_shared, expected);
+        assert_eq!(via_shared, 0xBEEF);
+        // And the loop itself runs the same path without crashing.
+        loop_interest_dispatch(10);
     }
 
     // The full session is exercised by the `table2` binary and the

@@ -39,8 +39,8 @@ pub use interest::InterestSet;
 pub use latency::{LatencyHandler, LATENCY_BUCKETS};
 pub use policy::{PolicyBuilder, PolicyHandler};
 pub use registry::{
-    dispatch_global, global_handler, global_interested, post_global, quarantined_handlers,
-    set_global_handler,
+    dispatch_global, global_handler, global_interested, install_handler, interpose_syscall,
+    post_global, quarantined_handlers, set_global_handler, HandlerGuard,
 };
 pub use remap::{PathRemapHandler, MAX_PATH};
 pub use rewrite::FdRedirectHandler;

@@ -25,6 +25,8 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
+use syscalls::SyscallArgs;
+
 use crate::{Action, SyscallEvent, SyscallHandler};
 
 static GLOBAL: AtomicPtr<Box<dyn SyscallHandler>> = AtomicPtr::new(std::ptr::null_mut());
@@ -73,6 +75,49 @@ pub fn set_global_handler(handler: Box<dyn SyscallHandler>) {
     // *after* the interest cache is valid, so no window exists where a
     // quarantined-then-revived handler sees a zeroed set.
     QUARANTINED.store(false, Ordering::SeqCst);
+}
+
+/// Installs `handler` like [`set_global_handler`] and returns a guard
+/// that restores the *previously* installed handler — pointer, interest
+/// cache, and a lifted quarantine — when dropped.
+///
+/// This is the registration entry point for scoped installations
+/// (benchmark phases, tests, `ActiveMechanism` guards): unlike a bare
+/// [`set_global_handler`], a drop of the guard cannot leak handler state
+/// into whatever runs next. Guards must be dropped in LIFO order; the
+/// restored handler starts un-quarantined even if it had panicked
+/// before. The guard is `!Send` — drop it on the installing thread.
+pub fn install_handler(handler: Box<dyn SyscallHandler>) -> HandlerGuard {
+    let prev = GLOBAL.load(Ordering::Acquire);
+    set_global_handler(handler);
+    HandlerGuard { prev }
+}
+
+/// RAII restoration of the previous global handler; see
+/// [`install_handler`].
+#[must_use = "dropping the guard immediately restores the previous handler"]
+pub struct HandlerGuard {
+    prev: *mut Box<dyn SyscallHandler>,
+}
+
+impl Drop for HandlerGuard {
+    fn drop(&mut self) {
+        if self.prev.is_null() {
+            GLOBAL.store(std::ptr::null_mut(), Ordering::SeqCst);
+            for cache in &INTEREST_WORDS {
+                cache.store(u64::MAX, Ordering::Relaxed);
+            }
+        } else {
+            // SAFETY: set_global_handler leaked the previous box, so
+            // the pointee is still valid (handlers live for 'static).
+            let interest = unsafe { (*self.prev).interest() };
+            GLOBAL.store(self.prev, Ordering::SeqCst);
+            for (cache, word) in INTEREST_WORDS.iter().zip(interest.words()) {
+                cache.store(word, Ordering::Relaxed);
+            }
+        }
+        QUARANTINED.store(false, Ordering::SeqCst);
+    }
 }
 
 /// Whether the installed handler is quarantined after panicking.
@@ -173,12 +218,46 @@ pub fn post_global(event: &SyscallEvent, ret: u64) -> u64 {
     }
 }
 
+/// The complete per-syscall decision sequence every mechanism runs: the
+/// interest gate, event construction, [`dispatch_global`], execution of
+/// a `Passthrough` (via the caller-supplied `execute`, with the
+/// handler's possibly-rewritten number/arguments), and the
+/// [`post_global`] hook.
+///
+/// This is the **single source of truth** for that sequence.
+/// `fastpath::lazypoline_dispatch` runs it after capturing the register
+/// frame, the SUD-only interposer runs it inside its `SIGSYS` handler,
+/// and the dispatch-cost microbenchmark (`loop_interest_dispatch`) calls
+/// it directly — so the benchmark measures the production decision path
+/// by construction instead of maintaining a copy of it.
+///
+/// `execute` performs the (possibly rewritten) syscall and returns its
+/// raw result; it is not called for `Return`/`Fail` decisions. `site`
+/// is the invocation-site address for event attribution (0 if unknown).
+#[inline]
+pub fn interpose_syscall<F>(call: SyscallArgs, site: usize, execute: F) -> u64
+where
+    F: FnOnce(SyscallArgs) -> u64,
+{
+    if !global_interested(call.nr) {
+        return execute(call);
+    }
+    let mut event = SyscallEvent::with_site(call, site);
+    match dispatch_global(&mut event) {
+        Action::Passthrough => {
+            let ret = execute(event.call);
+            post_global(&event, ret)
+        }
+        Action::Return(v) => v,
+        Action::Fail(e) => e.as_ret(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{InterestSet, PassthroughHandler};
     use std::sync::Mutex;
-    use syscalls::SyscallArgs;
 
     // The registry is process-global; serialize the tests that install
     // handlers so they don't observe each other's installs mid-assert.
@@ -267,5 +346,72 @@ mod tests {
         assert_eq!(quarantined_handlers(), before + 1);
 
         panic::set_hook(prev_hook);
+    }
+
+    #[test]
+    fn handler_guard_restores_previous_handler_and_interest() {
+        let _g = REGISTRY_LOCK.lock().unwrap();
+        set_global_handler(Box::new(PassthroughHandler));
+        {
+            let _guard = install_handler(Box::new(OnlyOpenat));
+            assert!(global_interested(syscalls::nr::OPENAT));
+            assert!(!global_interested(syscalls::nr::GETPID));
+            {
+                // Nested (LIFO) installation restores one level.
+                let _inner = install_handler(Box::new(PassthroughHandler));
+                assert!(global_interested(syscalls::nr::GETPID));
+            }
+            assert!(!global_interested(syscalls::nr::GETPID));
+        }
+        // Outer drop restores the original passthrough handler.
+        assert!(global_interested(syscalls::nr::GETPID));
+        assert_eq!(global_handler().unwrap().name(), "passthrough");
+    }
+
+    struct Scripted;
+    impl SyscallHandler for Scripted {
+        fn handle(&self, event: &mut SyscallEvent) -> Action {
+            match event.call.nr {
+                syscalls::nr::GETPID => Action::Return(7777),
+                syscalls::nr::OPENAT => Action::Fail(syscalls::Errno::EPERM),
+                // Rewrite: bump arg0 so post/execute observe the edit.
+                _ => {
+                    event.call.args[0] += 1;
+                    Action::Passthrough
+                }
+            }
+        }
+        fn post(&self, _event: &SyscallEvent, ret: u64) -> u64 {
+            ret | 0x100
+        }
+    }
+
+    #[test]
+    fn interpose_syscall_matches_dispatch_global() {
+        let _g = REGISTRY_LOCK.lock().unwrap();
+        set_global_handler(Box::new(Scripted));
+        // For each decision class, the shared sequence must agree with a
+        // hand-run dispatch_global + post_global (the sequence it owns).
+        for nr in [syscalls::nr::GETPID, syscalls::nr::OPENAT, syscalls::nr::WRITE] {
+            let call = SyscallArgs::new(nr, [5, 0, 0, 0, 0, 0]);
+            let via_shared = interpose_syscall(call, 0, |c| c.args[0] * 10);
+            let mut ev = SyscallEvent::new(call);
+            let expected = match dispatch_global(&mut ev) {
+                Action::Passthrough => post_global(&ev, ev.call.args[0] * 10),
+                Action::Return(v) => v,
+                Action::Fail(e) => e.as_ret(),
+            };
+            assert_eq!(via_shared, expected, "nr {nr}");
+        }
+        // And the concrete values: Return short-circuits, Fail encodes
+        // errno, Passthrough executes the rewritten args + post hook.
+        assert_eq!(interpose_syscall(SyscallArgs::nullary(syscalls::nr::GETPID), 0, |_| 0), 7777);
+        assert_eq!(
+            interpose_syscall(SyscallArgs::nullary(syscalls::nr::OPENAT), 0, |_| 0),
+            syscalls::Errno::EPERM.as_ret()
+        );
+        let call = SyscallArgs::new(syscalls::nr::WRITE, [5, 0, 0, 0, 0, 0]);
+        assert_eq!(interpose_syscall(call, 0, |c| c.args[0] * 10), 60 | 0x100);
+        set_global_handler(Box::new(PassthroughHandler));
     }
 }

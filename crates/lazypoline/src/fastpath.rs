@@ -2,7 +2,6 @@
 //! the fast path (trampoline) and the slow path (SIGSYS emulation
 //! fallback), exactly as the paper motivates in §IV-A(c).
 
-use interpose::{Action, SyscallEvent};
 use sud::Dispatch;
 use syscalls::{nr, Errno, SyscallArgs};
 use zpoline::RawFrame;
@@ -101,31 +100,42 @@ pub(crate) fn needs_emulation(nr_: u64) -> bool {
 /// `frame` must describe a syscall invocation from this thread, and
 /// the selector must be ALLOW.
 pub(crate) unsafe fn handle_syscall(frame: &mut RawFrame, notify: bool) -> u64 {
-    let mut post_event = None;
-    // Interest filter for callers that did not already fast-out (the
-    // SUD slow path's emulation arm arrives here directly): skip the
-    // event/virtual-call/post machinery for numbers the handler does
-    // not want, but still take the emulation match below.
-    if notify && interpose::global_interested(frame.nr) {
-        let mut ev = SyscallEvent::with_site(frame.syscall_args(), frame.ret_addr as usize);
-        match interpose::dispatch_global(&mut ev) {
-            Action::Passthrough => {
-                // The handler may have rewritten number/arguments.
-                frame.nr = ev.call.nr;
-                frame.a1 = ev.call.args[0];
-                frame.a2 = ev.call.args[1];
-                frame.a3 = ev.call.args[2];
-                frame.a4 = ev.call.args[3];
-                frame.a5 = ev.call.args[4];
-                frame.a6 = ev.call.args[5];
-                post_event = Some(ev);
-            }
-            Action::Return(v) => return v,
-            Action::Fail(e) => return e.as_ret(),
-        }
+    if !notify {
+        return execute_frame(frame);
     }
+    // The decision sequence itself — interest gate, event construction,
+    // dispatch, passthrough execution, post hook — is not written here:
+    // it is `interpose::interpose_syscall`, the one copy shared with the
+    // SUD-only interposer and the dispatch-cost benchmark. Execution of
+    // a `Passthrough` routes back through [`execute_frame`] so the
+    // engine's emulations apply to whatever call the handler settled on.
+    let call = frame.syscall_args();
+    let site = frame.ret_addr as usize;
+    interpose::interpose_syscall(call, site, |decided| {
+        // The handler may have rewritten number/arguments.
+        frame.nr = decided.nr;
+        frame.a1 = decided.args[0];
+        frame.a2 = decided.args[1];
+        frame.a3 = decided.args[2];
+        frame.a4 = decided.args[3];
+        frame.a5 = decided.args[4];
+        frame.a6 = decided.args[5];
+        execute_frame(frame)
+    })
+}
 
-    let ret = match frame.nr {
+/// Executes the frame's (possibly handler-rewritten) syscall: emulation
+/// for the process-control syscalls the paper calls out, raw execution
+/// for everything else. Result observation/rewriting (`post`) happens in
+/// the caller's shared sequence; for clone-like calls whose child
+/// resumed elsewhere, the dispatcher frame only ever returns in the
+/// parent, so the post hook runs there alone.
+///
+/// # Safety
+///
+/// As [`handle_syscall`].
+unsafe fn execute_frame(frame: &mut RawFrame) -> u64 {
+    match frame.nr {
         nr::RT_SIGRETURN => do_rt_sigreturn(frame),
         nr::RT_SIGACTION => signals::handle_sigaction(frame),
         nr::RT_SIGPROCMASK => handle_sigprocmask(frame),
@@ -136,14 +146,6 @@ pub(crate) unsafe fn handle_syscall(frame: &mut RawFrame, notify: bool) -> u64 {
         nr::CLONE3 => Errno::ENOSYS.as_ret(),
         nr::FORK | nr::VFORK => clone::handle_fork(frame),
         _ => raw_internal::syscall(frame.syscall_args()),
-    };
-    match post_event {
-        // Result observation/rewriting (paper §II-A's ptrace
-        // capability, here on the fast path). Skipped for clone-like
-        // calls whose child resumed elsewhere: for those the dispatcher
-        // frame only ever returns in the parent.
-        Some(ev) => interpose::post_global(&ev, ret),
-        None => ret,
     }
 }
 
@@ -266,7 +268,9 @@ mod tests {
                 InterestSet::of(&[499])
             }
         }
-        interpose::set_global_handler(Box::new(Only499));
+        // The guard restores whatever handler (and interest cache) was
+        // installed before this test, instead of leaking Only499.
+        let _guard = interpose::install_handler(Box::new(Only499));
 
         // getpid is outside the interest set: the handler must be
         // bypassed (no 0xDEAD) while the syscall itself still executes.
@@ -284,10 +288,6 @@ mod tests {
         let mut f = mk_frame(nr::CLONE3, [0; 6]);
         let ret = unsafe { handle_syscall(&mut f, true) };
         assert_eq!(Errno::from_ret(ret), Some(Errno::ENOSYS));
-
-        // Restore an all-syscalls handler for other tests in this
-        // process (the registry is global).
-        interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! The mechanism layer: every interposition backend in the suite —
+//! native engine configurations, raw SUD, and the simulated mechanisms
+//! — behind one trait, one string-keyed registry, and one
+//! install/teardown/stats lifecycle.
+//!
+//! The paper's claim is comparative (Table I/II line lazypoline up
+//! against zpoline, SUD, seccomp, and ptrace as *peer* mechanisms), so
+//! the suite treats "which mechanism" as data, not code: drivers ask
+//! the registry for a backend [`by_name`] (or [`from_env`] via
+//! `LP_MECHANISM`), [`Mechanism::install`] it around a
+//! [`SyscallHandler`], and read a uniform [`StatsSnapshot`] from the
+//! returned [`ActiveMechanism`] guard. Adding a backend is a one-file
+//! change here; the micro/macro benchmarks, examples, and tests pick it
+//! up by name.
+//!
+//! # Registered names
+//!
+//! Native (this process, this kernel):
+//!
+//! | name | configuration |
+//! |------|---------------|
+//! | `none` | no interposition (baseline) |
+//! | `sud-allow` | SUD enabled, selector parked at ALLOW (paper's "SUD enabled" baseline) |
+//! | `sud-raw` | classic selector-only SUD: raw `SIGSYS` interposer, no engine (Table II's "SUD" row) |
+//! | `sud` | the engine with lazy rewriting disabled (every syscall takes the slow path) |
+//! | `zpoline` | the engine, no xstate preservation; [`ActiveMechanism::detach`] after warmup drops SUD for pure-rewriting operation |
+//! | `lazypoline-nox` | the hybrid without extended-state preservation |
+//! | `lazypoline` | the full hybrid (default) |
+//! | `lazypoline-nobatch` | the hybrid with page-granular batch rewriting off |
+//!
+//! Simulated (run a guest program, see [`ActiveMechanism::run_program`]):
+//! `sim:baseline`, `sim:baseline-sud`, `sim:ptrace`, `sim:seccomp-bpf`,
+//! `sim:seccomp-user`, `sim:sud`, `sim:zpoline`, `sim:lazypoline-nox`,
+//! `sim:lazypoline`.
+//!
+//! # One-way caveats
+//!
+//! Native interposition is not fully reversible: engine initialisation
+//! is process-global and rewritten syscall sites stay rewritten, so
+//! dropping an engine-backed [`ActiveMechanism`] unenrolls the thread
+//! and restores the handler/selector/xstate, but already-patched sites
+//! keep dispatching (to whatever handler is then installed — the guard
+//! restores the previous one). `sud-raw` owns the `SIGSYS` disposition
+//! and must therefore be installed *before* any engine-backed backend
+//! in a process's lifetime.
+
+#![deny(missing_docs)]
+
+mod native;
+mod sim;
+
+use interpose::SyscallHandler;
+pub use sim_interpose::{Efficiency, Expressiveness, Traits};
+pub use zpoline::XstateMask;
+
+/// An interposition backend: something that can wrap a
+/// [`SyscallHandler`] around this process (native) or a guest program
+/// (simulated).
+pub trait Mechanism: Send + Sync {
+    /// The registry key (`lazypoline`, `sud`, `sim:ptrace`, …).
+    fn name(&self) -> &'static str;
+
+    /// The mechanism's Table I row: expressiveness, exhaustiveness,
+    /// efficiency class.
+    fn traits(&self) -> Traits;
+
+    /// Whether this backend can be installed on this host (kernel SUD
+    /// support, `vm.mmap_min_addr = 0`, …). Simulated backends are
+    /// always available.
+    fn is_available(&self) -> bool;
+
+    /// Activates the mechanism with `handler` as the interposer.
+    ///
+    /// The returned guard owns teardown: dropping it restores the
+    /// previously installed handler, the thread's SUD selector, and
+    /// (where changed) the xstate mask — see the crate docs for what
+    /// native interposition cannot undo.
+    fn install(&self, handler: Box<dyn SyscallHandler>)
+        -> Result<ActiveMechanism, InstallError>;
+}
+
+/// Why [`Mechanism::install`] failed.
+#[derive(Debug)]
+pub enum InstallError {
+    /// The host lacks a kernel feature this backend needs.
+    Unsupported(&'static str),
+    /// The backend conflicts with process-global state already set up
+    /// (e.g. `sud-raw` after the engine claimed `SIGSYS`).
+    Conflict(&'static str),
+    /// Engine initialisation failed.
+    Init(lazypoline::InitError),
+    /// A raw kernel interface (prctl/sigaction) failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::Unsupported(why) => write!(f, "unsupported on this host: {why}"),
+            InstallError::Conflict(why) => write!(f, "conflicts with process state: {why}"),
+            InstallError::Init(e) => write!(f, "engine init failed: {e}"),
+            InstallError::Io(e) => write!(f, "kernel interface failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// Why [`ActiveMechanism::run_program`] failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The backend is native; it interposes this process, not guest
+    /// programs.
+    NotSimulated,
+    /// The simulator rejected the mechanism/program combination.
+    Setup(sim_interpose::SetupError),
+    /// The guest faulted or was killed.
+    Sim(sim_kernel::kernel::SimError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::NotSimulated => write!(f, "native mechanisms do not run guest programs"),
+            RunError::Setup(e) => write!(f, "simulator setup failed: {e}"),
+            RunError::Sim(e) => write!(f, "guest run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Uniform per-installation statistics, reported as **deltas since
+/// install** so drivers can attribute counts to one measurement phase.
+///
+/// Engine-backed natives report the full counter set (including the
+/// robustness counters: patch retries, blocklisted pages, quarantined
+/// handlers). `sud-raw` counts each `SIGSYS` trip as both a dispatch
+/// and a slow-path hit. Simulated backends map the sim kernel's
+/// counters (observed syscalls → `dispatches`, SUD/SIGSYS deliveries →
+/// `slow_path_hits`); counters without a simulated equivalent stay 0.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Registry key of the mechanism that produced this snapshot.
+    pub mechanism: &'static str,
+    /// Syscalls that reached the mechanism's dispatcher.
+    pub dispatches: u64,
+    /// Slow-path (`SIGSYS`) trips.
+    pub slow_path_hits: u64,
+    /// Syscall sites rewritten to `call rax`.
+    pub sites_patched: u64,
+    /// Syscalls emulated because their site is unpatchable.
+    pub unpatchable_emulations: u64,
+    /// Syscalls emulated because lazy rewriting is off.
+    pub disabled_mode_emulations: u64,
+    /// Application signal deliveries routed through the wrapper.
+    pub signals_wrapped: u64,
+    /// Patch re-attempts after transient `mprotect` failures.
+    pub patch_retries: u64,
+    /// Pages inserted into the unpatchable-page blocklist.
+    pub pages_blocklisted: u64,
+    /// Interposer handlers quarantined after panicking.
+    pub quarantined_handlers: u64,
+}
+
+impl StatsSnapshot {
+    pub(crate) fn zero(mechanism: &'static str) -> StatsSnapshot {
+        StatsSnapshot {
+            mechanism,
+            ..StatsSnapshot::default()
+        }
+    }
+}
+
+/// Result of one simulated guest run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// The guest's exit status.
+    pub exit: i64,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Syscall numbers the mechanism observed, in order (empty for
+    /// mechanisms that cannot observe, e.g. `sim:seccomp-bpf`).
+    pub observed: Vec<u64>,
+}
+
+/// A live installation: handler registered, mechanism armed. Teardown
+/// runs on drop (mechanism first, then handler restoration).
+#[must_use = "dropping the guard immediately tears the mechanism down"]
+pub struct ActiveMechanism {
+    name: &'static str,
+    inner: Inner,
+}
+
+pub(crate) enum Inner {
+    Native(Box<native::NativeActive>),
+    Sim(sim::SimActive),
+}
+
+impl ActiveMechanism {
+    pub(crate) fn new(name: &'static str, inner: Inner) -> ActiveMechanism {
+        ActiveMechanism { name, inner }
+    }
+
+    /// The registry key of the installed mechanism.
+    pub fn mechanism_name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Counters accumulated since install (see [`StatsSnapshot`]).
+    pub fn stats(&self) -> StatsSnapshot {
+        match &self.inner {
+            Inner::Native(n) => n.snapshot(self.name),
+            Inner::Sim(s) => s.snapshot(self.name),
+        }
+    }
+
+    /// Stops interposing on the calling thread while keeping the
+    /// handler and any rewritten sites in place: engine-backed natives
+    /// unenroll from SUD (the `zpoline` backend's post-warmup switch to
+    /// pure rewriting), raw-SUD backends park the selector at ALLOW.
+    /// No-op for `none` and simulated backends.
+    pub fn detach(&mut self) {
+        if let Inner::Native(n) = &mut self.inner {
+            n.detach();
+        }
+    }
+
+    /// Changes which extended-state components the fast path preserves.
+    /// Returns `false` (and does nothing) unless the backend is
+    /// engine-based. A non-default mask is restored to the full default
+    /// on teardown.
+    pub fn set_xstate(&mut self, mask: XstateMask) -> bool {
+        match &mut self.inner {
+            Inner::Native(n) => n.set_xstate(mask),
+            Inner::Sim(_) => false,
+        }
+    }
+
+    /// Runs a guest program under a simulated mechanism, replaying the
+    /// mechanism's observations through the installed handler (same
+    /// event/post shape as the native dispatchers) and accumulating
+    /// [`StatsSnapshot`] counters. Errors with [`RunError::NotSimulated`]
+    /// on native backends.
+    pub fn run_program(&mut self, program: &[u8]) -> Result<SimOutcome, RunError> {
+        match &mut self.inner {
+            Inner::Sim(s) => s.run(program),
+            Inner::Native(_) => Err(RunError::NotSimulated),
+        }
+    }
+}
+
+/// Iterates every registered backend, native first.
+pub fn all() -> impl Iterator<Item = &'static dyn Mechanism> {
+    native::NATIVE_BACKENDS
+        .iter()
+        .map(|b| b as &dyn Mechanism)
+        .chain(sim::SIM_BACKENDS.iter().map(|b| b as &dyn Mechanism))
+}
+
+/// Every registered backend name, native first.
+pub fn names() -> Vec<&'static str> {
+    all().map(|m| m.name()).collect()
+}
+
+/// Looks a backend up by registry key.
+pub fn by_name(name: &str) -> Option<&'static dyn Mechanism> {
+    all().find(|m| m.name() == name)
+}
+
+/// The environment variable drivers consult for mechanism selection.
+pub const ENV_VAR: &str = "LP_MECHANISM";
+
+/// The backend [`from_env`] falls back to: the paper's subject.
+pub const DEFAULT_MECHANISM: &str = "lazypoline";
+
+/// The backend named by `LP_MECHANISM`, or [`DEFAULT_MECHANISM`] when
+/// unset/empty. An unknown name is an error (listing the valid names),
+/// not a silent fallback.
+pub fn from_env() -> Result<&'static dyn Mechanism, UnknownMechanism> {
+    match std::env::var(ENV_VAR) {
+        Ok(name) if !name.is_empty() => by_name(&name).ok_or(UnknownMechanism(name)),
+        _ => Ok(by_name(DEFAULT_MECHANISM).expect("default mechanism is registered")),
+    }
+}
+
+/// `LP_MECHANISM` named a mechanism the registry does not know.
+#[derive(Debug)]
+pub struct UnknownMechanism(pub String);
+
+impl std::fmt::Display for UnknownMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown mechanism {:?} (valid: {})",
+            self.0,
+            names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownMechanism {}
+
+/// Detaches the calling thread from SUD interposition without an
+/// [`ActiveMechanism`] handle: selector to ALLOW, then SUD off.
+///
+/// Async-signal-safe (one store, one prctl) — this is the hook for
+/// signal-driven detach protocols like the macrobenchmark's `SIGUSR1`
+/// switch to pure-zpoline operation, where the guard was deliberately
+/// leaked in a child process.
+pub fn detach_current_thread() {
+    sud::set_selector(sud::Dispatch::Allow);
+    let _ = sud::disable_thread();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_row() {
+        // Table II native rows + every simulated mechanism, by name.
+        for name in [
+            "none",
+            "sud-allow",
+            "sud-raw",
+            "sud",
+            "zpoline",
+            "lazypoline-nox",
+            "lazypoline",
+            "lazypoline-nobatch",
+            "sim:baseline",
+            "sim:baseline-sud",
+            "sim:ptrace",
+            "sim:seccomp-bpf",
+            "sim:seccomp-user",
+            "sim:sud",
+            "sim:zpoline",
+            "sim:lazypoline-nox",
+            "sim:lazypoline",
+        ] {
+            let m = by_name(name).unwrap_or_else(|| panic!("{name} not registered"));
+            assert_eq!(m.name(), name);
+        }
+        assert_eq!(names().len(), 17);
+        assert!(by_name("ptrace").is_none(), "native ptrace is not a backend");
+    }
+
+    #[test]
+    fn traits_match_table_one() {
+        let lp = by_name("lazypoline").unwrap().traits();
+        assert_eq!(lp.expressiveness, Expressiveness::Full);
+        assert!(lp.exhaustive);
+        assert_eq!(lp.efficiency, Efficiency::High);
+        // Native and simulated rows of the same mechanism agree.
+        assert_eq!(lp, by_name("sim:lazypoline").unwrap().traits());
+        assert_eq!(
+            by_name("sud").unwrap().traits(),
+            by_name("sim:sud").unwrap().traits()
+        );
+        let zp = by_name("zpoline").unwrap().traits();
+        assert!(!zp.exhaustive, "rewriting alone misses JIT syscalls");
+    }
+
+    #[test]
+    fn from_env_defaults_and_rejects_unknown() {
+        // Note: reads the ambient LP_MECHANISM, so only assert the
+        // unset path when the harness did not set one.
+        if std::env::var(ENV_VAR).is_err() {
+            assert_eq!(from_env().unwrap().name(), DEFAULT_MECHANISM);
+        }
+        assert!(by_name("no-such-mechanism").is_none());
+        let err = UnknownMechanism("no-such-mechanism".into()).to_string();
+        assert!(err.contains("lazypoline"), "error lists valid names: {err}");
+    }
+
+    #[test]
+    fn none_backend_installs_and_reports_zero_stats() {
+        let m = by_name("none").unwrap();
+        assert!(m.is_available());
+        let active = m
+            .install(Box::new(interpose::PassthroughHandler))
+            .expect("none is always installable");
+        assert_eq!(active.mechanism_name(), "none");
+        let s = active.stats();
+        assert_eq!(s.dispatches, 0);
+        assert_eq!(s.slow_path_hits, 0);
+    }
+
+    #[test]
+    fn sim_backend_runs_guest_and_counts() {
+        let m = by_name("sim:lazypoline").unwrap();
+        assert!(m.is_available());
+        let mut active = m
+            .install(Box::new(interpose::CountHandler::new()))
+            .expect("sim backends always install");
+        let program = sim_workloads::bench::microbench(50);
+        let out = active.run_program(&program).expect("guest runs");
+        assert_eq!(out.exit, 0);
+        assert!(out.cycles > 0);
+        assert!(!out.observed.is_empty());
+        let s = active.stats();
+        assert_eq!(s.dispatches, out.observed.len() as u64);
+        assert!(s.slow_path_hits > 0, "lazy rewriting trips SIGSYS per site");
+        assert!(
+            s.slow_path_hits < s.dispatches,
+            "hybrid: slow path per site, not per call"
+        );
+    }
+
+    #[test]
+    fn native_backend_rejects_run_program() {
+        let m = by_name("none").unwrap();
+        let mut active = m.install(Box::new(interpose::PassthroughHandler)).unwrap();
+        assert!(matches!(
+            active.run_program(&[]),
+            Err(RunError::NotSimulated)
+        ));
+    }
+}

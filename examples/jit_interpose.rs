@@ -10,10 +10,10 @@
 //!
 //! ```sh
 //! cargo run --example jit_interpose
+//! LP_MECHANISM=lazypoline-nox cargo run --example jit_interpose
 //! ```
 
 use interpose::{Action, SyscallEvent, SyscallHandler};
-use lazypoline::{init, Config};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Records whether the JIT'd getpid was observed.
@@ -28,6 +28,15 @@ impl SyscallHandler for JitSpy {
         }
         Action::Passthrough
     }
+}
+
+/// The experiment only makes sense for lazily-rewriting backends — the
+/// whole point is catching a syscall site that appears after install.
+fn lazy_rewriting(name: &str) -> bool {
+    matches!(
+        name,
+        "zpoline" | "lazypoline-nox" | "lazypoline" | "lazypoline-nobatch"
+    )
 }
 
 /// Emit `mov eax, <nr>; syscall; ret` into a fresh executable page —
@@ -57,21 +66,38 @@ unsafe fn jit_emit_getpid() -> extern "C" fn() -> u64 {
 }
 
 fn main() {
-    if !zpoline::Trampoline::environment_supported() {
-        eprintln!("skip: vm.mmap_min_addr must be 0 for the trampoline");
+    let backend = match mechanism::from_env() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("skip: {e}");
+            return;
+        }
+    };
+    if !lazy_rewriting(backend.name()) {
+        eprintln!(
+            "skip: LP_MECHANISM={} does not rewrite lazily; this experiment needs one of the \
+             rewriting backends (e.g. lazypoline)",
+            backend.name()
+        );
+        return;
+    }
+    if !backend.is_available() {
+        eprintln!(
+            "skip: {} unavailable here (needs Linux >= 5.11 SUD and vm.mmap_min_addr = 0)",
+            backend.name()
+        );
         return;
     }
 
-    interpose::set_global_handler(Box::new(JitSpy));
-    let engine = match init(Config::default()) {
-        Ok(e) => e,
+    let mut active = match backend.install(Box::new(JitSpy)) {
+        Ok(a) => a,
         Err(e) => {
-            eprintln!("skip: lazypoline unavailable: {e}");
+            eprintln!("skip: {} install failed: {e}", backend.name());
             return;
         }
     };
 
-    let before = engine.stats();
+    let before = active.stats();
 
     // Generate the code *after* interposition is armed — no static
     // rewriter could know about this site.
@@ -82,8 +108,8 @@ fn main() {
     let second = jit_getpid(); // fast path only
     let third = jit_getpid();
 
-    engine.unenroll_current_thread();
-    let after = engine.stats();
+    active.detach();
+    let after = active.stats();
 
     assert_eq!(first, real_pid);
     assert_eq!(second, real_pid);
@@ -95,6 +121,7 @@ fn main() {
         "the JIT site should have been lazily rewritten"
     );
 
+    println!("mechanism: {}", active.mechanism_name());
     println!("JIT-generated getpid returned pid {first} (correct)");
     println!("interposed {seen} JIT getpid invocations");
     println!(

@@ -2,24 +2,53 @@
 //!
 //! ```sh
 //! cargo run --example quickstart
+//! LP_MECHANISM=sud cargo run --example quickstart   # any registry name
 //! ```
 //!
 //! Requires an x86-64 Linux kernel ≥ 5.11 with `vm.mmap_min_addr = 0`
-//! (for the page-zero trampoline). The example prints the top syscalls
-//! it observed, plus the engine counters showing the hybrid mechanism
-//! at work: a handful of slow-path (SIGSYS) trips that each patched one
-//! site, and many fast-path dispatches through those patched sites.
+//! (for the page-zero trampoline). The example installs the mechanism
+//! named by `LP_MECHANISM` (default: the hybrid `lazypoline`) around a
+//! per-syscall counter, then prints the top syscalls it observed plus
+//! the unified mechanism counters — for the hybrid, a handful of
+//! slow-path (SIGSYS) trips that each patched one site, and many
+//! fast-path dispatches through those patched sites.
 
 use interpose::{CountHandler, SyscallHandler};
-use lazypoline::{init, Config};
+
+/// Engine-backed registry names: exhaustive interposition with the
+/// unified counters fully populated.
+fn engine_backed(name: &str) -> bool {
+    matches!(
+        name,
+        "sud" | "zpoline" | "lazypoline-nox" | "lazypoline" | "lazypoline-nobatch"
+    )
+}
 
 fn main() {
-    if !zpoline::Trampoline::environment_supported() {
-        eprintln!("skip: vm.mmap_min_addr must be 0 for the trampoline");
+    let backend = match mechanism::from_env() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("skip: {e}");
+            return;
+        }
+    };
+    if backend.name().starts_with("sim:") {
+        eprintln!(
+            "skip: LP_MECHANISM={} is a simulated mechanism; this example runs natively \
+             (try LP_MECHANISM=lazypoline)",
+            backend.name()
+        );
+        return;
+    }
+    if !backend.is_available() {
+        eprintln!(
+            "skip: {} unavailable here (needs Linux >= 5.11 SUD and/or vm.mmap_min_addr = 0)",
+            backend.name()
+        );
         return;
     }
 
-    // 1. Register an interposer (here: a per-syscall counter).
+    // 1. Build an interposer (here: a per-syscall counter).
     let counter: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
     struct Shared(&'static CountHandler);
     impl SyscallHandler for Shared {
@@ -27,13 +56,13 @@ fn main() {
             self.0.handle(ev)
         }
     }
-    interpose::set_global_handler(Box::new(Shared(counter)));
 
-    // 2. Arm the hybrid engine on this thread.
-    let engine = match init(Config::default()) {
-        Ok(e) => e,
+    // 2. Install the named mechanism around it — one call arms
+    //    everything (handler registration, SUD, trampoline, rewriting).
+    let mut active = match backend.install(Box::new(Shared(counter))) {
+        Ok(a) => a,
         Err(e) => {
-            eprintln!("skip: lazypoline unavailable: {e}");
+            eprintln!("skip: {} install failed: {e}", backend.name());
             return;
         }
     };
@@ -51,11 +80,12 @@ fn main() {
     std::fs::remove_file(&tmp).unwrap();
     assert_eq!(echoed, "hello from under interposition\n");
 
-    // 4. Report.
-    engine.unenroll_current_thread();
-    let stats = engine.stats();
+    // 4. Report through the unified snapshot.
+    active.detach();
+    let stats = active.stats();
     println!("host: {}", hostname.trim());
-    println!("-- engine counters --");
+    println!("mechanism: {}", active.mechanism_name());
+    println!("-- mechanism counters --");
     println!("slow-path (SIGSYS) trips : {}", stats.slow_path_hits);
     println!("sites lazily rewritten   : {}", stats.sites_patched);
     println!("dispatcher invocations   : {}", stats.dispatches);
@@ -67,11 +97,23 @@ fn main() {
             syscalls::nr::name(nr).unwrap_or("?")
         );
     }
-    assert!(stats.sites_patched >= 1, "no sites were rewritten");
-    assert!(
-        stats.dispatches > stats.slow_path_hits,
-        "fast path should dominate"
-    );
-    assert!(counter.count(syscalls::nr::NEWFSTATAT) >= 100 || counter.count(syscalls::nr::STATX) >= 100);
-    println!("OK: exhaustive interposition with lazy rewriting works");
+    if engine_backed(active.mechanism_name()) {
+        assert!(
+            counter.count(syscalls::nr::NEWFSTATAT) >= 100
+                || counter.count(syscalls::nr::STATX) >= 100
+        );
+        if active.mechanism_name() != "sud" {
+            assert!(stats.sites_patched >= 1, "no sites were rewritten");
+            assert!(
+                stats.dispatches > stats.slow_path_hits,
+                "fast path should dominate"
+            );
+        }
+        println!("OK: exhaustive interposition under {}", active.mechanism_name());
+    } else {
+        println!(
+            "note: {} does not interpose exhaustively; counters above are best-effort",
+            active.mechanism_name()
+        );
+    }
 }

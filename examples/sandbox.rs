@@ -9,15 +9,50 @@
 //!
 //! ```sh
 //! cargo run --example sandbox
+//! LP_MECHANISM=sud cargo run --example sandbox   # slow-path-only enforcement
 //! ```
 
 use interpose::PolicyBuilder;
-use lazypoline::{init, Config};
 use std::io::Write;
 
+/// Engine-backed names guarantee exhaustive enforcement; anything else
+/// (e.g. `none`, or the one-shot `sud-raw`) cannot hold the sandbox
+/// invariants this example asserts.
+fn enforcing(name: &str) -> bool {
+    matches!(
+        name,
+        "sud" | "zpoline" | "lazypoline-nox" | "lazypoline" | "lazypoline-nobatch"
+    )
+}
+
 fn main() {
-    if !zpoline::Trampoline::environment_supported() {
-        eprintln!("skip: vm.mmap_min_addr must be 0 for the trampoline");
+    let backend = match mechanism::from_env() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("skip: {e}");
+            return;
+        }
+    };
+    if backend.name().starts_with("sim:") {
+        eprintln!(
+            "skip: LP_MECHANISM={} is a simulated mechanism; this example runs natively",
+            backend.name()
+        );
+        return;
+    }
+    if !enforcing(backend.name()) {
+        eprintln!(
+            "skip: LP_MECHANISM={} cannot enforce an exhaustive sandbox \
+             (pick an engine-backed mechanism, e.g. lazypoline or sud)",
+            backend.name()
+        );
+        return;
+    }
+    if !backend.is_available() {
+        eprintln!(
+            "skip: {} unavailable here (needs Linux >= 5.11 SUD and/or vm.mmap_min_addr = 0)",
+            backend.name()
+        );
         return;
     }
 
@@ -26,12 +61,10 @@ fn main() {
         .deny(syscalls::nr::SOCKET)
         .deny_write_to_fd_at_or_above(3)
         .build();
-    interpose::set_global_handler(Box::new(policy));
-
-    let engine = match init(Config::default()) {
-        Ok(e) => e,
+    let mut active = match backend.install(Box::new(policy)) {
+        Ok(a) => a,
         Err(e) => {
-            eprintln!("skip: lazypoline unavailable: {e}");
+            eprintln!("skip: {} install failed: {e}", backend.name());
             return;
         }
     };
@@ -52,9 +85,10 @@ fn main() {
     // 4. Sockets are denied.
     let socket_denied = std::net::TcpStream::connect("127.0.0.1:1").is_err();
 
-    engine.unenroll_current_thread();
+    active.detach();
     let _ = std::fs::remove_file(&tmp);
 
+    println!("mechanism         : {}", active.mechanism_name());
     println!("file write denied : {write_denied}");
     println!("execve denied     : {exec_denied}");
     println!("socket denied     : {socket_denied}");

@@ -7,36 +7,55 @@
 //!
 //! ```sh
 //! cargo run --example strace_lite 2>trace.txt && head trace.txt
+//! LP_MECHANISM=sud cargo run --example strace_lite   # slow-path only
 //! ```
 
 use interpose::{TraceHandler, TraceSink};
-use lazypoline::{init, Config};
 
 fn main() {
-    if !zpoline::Trampoline::environment_supported() {
-        eprintln!("skip: vm.mmap_min_addr must be 0 for the trampoline");
-        return;
-    }
-
-    interpose::set_global_handler(Box::new(TraceHandler::with_sink(TraceSink::Stderr)));
-    let engine = match init(Config::default()) {
-        Ok(e) => e,
+    let backend = match mechanism::from_env() {
+        Ok(b) => b,
         Err(e) => {
-            eprintln!("skip: lazypoline unavailable: {e}");
+            eprintln!("skip: {e}");
             return;
         }
     };
+    if backend.name().starts_with("sim:") {
+        eprintln!(
+            "skip: LP_MECHANISM={} is a simulated mechanism; this example runs natively",
+            backend.name()
+        );
+        return;
+    }
+    if !backend.is_available() {
+        eprintln!(
+            "skip: {} unavailable here (needs Linux >= 5.11 SUD and/or vm.mmap_min_addr = 0)",
+            backend.name()
+        );
+        return;
+    }
+
+    let mut active =
+        match backend.install(Box::new(TraceHandler::with_sink(TraceSink::Stderr))) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("skip: {} install failed: {e}", backend.name());
+                return;
+            }
+        };
 
     // A small workload with a recognizable syscall mix.
     let cwd = std::env::current_dir().unwrap();
     let entries = std::fs::read_dir(&cwd).unwrap().count();
     let pid = std::process::id();
 
-    engine.unenroll_current_thread();
+    active.detach();
+    let stats = active.stats();
     println!("pid {pid} sees {entries} entries in {}", cwd.display());
     println!(
-        "traced {} syscalls ({} sites rewritten lazily)",
-        engine.stats().dispatches,
-        engine.stats().sites_patched
+        "traced {} syscalls under {} ({} sites rewritten lazily)",
+        stats.dispatches,
+        active.mechanism_name(),
+        stats.sites_patched
     );
 }

@@ -1,12 +1,13 @@
 //! One full Figure-5 cell end-to-end in the test suite: fork a server
-//! under each interposition configuration, measure briefly, assert
-//! functional correctness (throughput > 0, no protocol errors).
+//! under each mechanism row (by registry name), measure briefly,
+//! assert functional correctness (throughput > 0, no protocol
+//! errors).
 //!
 //! This is the machinery test; the real measurement runs live in
 //! `cargo run -p lp-bench --bin fig5 --release`.
 
 use httpd::{Docroot, Flavor, Server, ServerConfig};
-use lp_bench::macrobench::{run_cell, ServerInterposition};
+use lp_bench::macrobench::{run_cell, MECHANISMS};
 
 fn environment_ready() -> bool {
     zpoline::Trampoline::environment_supported() && sud::is_supported()
@@ -19,23 +20,19 @@ fn every_interposition_config_serves_correctly() {
         return;
     }
     let docroot = Docroot::create(&[4096]).unwrap();
-    for config in ServerInterposition::all() {
+    for mech in MECHANISMS {
         let cell = run_cell(
             &docroot,
             Flavor::LighttpdLike,
             1,
             4096,
-            config,
+            mech,
             0.4,
             2,
         )
-        .unwrap_or_else(|e| panic!("{config:?}: {e}"));
-        assert!(
-            cell.rps > 50.0,
-            "{config:?}: implausibly low rps {}",
-            cell.rps
-        );
-        assert_eq!(cell.errors, 0, "{config:?}: protocol errors");
+        .unwrap_or_else(|e| panic!("{mech}: {e}"));
+        assert!(cell.rps > 50.0, "{mech}: implausibly low rps {}", cell.rps);
+        assert_eq!(cell.errors, 0, "{mech}: protocol errors");
     }
 }
 
@@ -54,7 +51,7 @@ fn multiworker_server_under_lazypoline() {
         Flavor::NginxLike,
         3,
         1024,
-        ServerInterposition::Lazypoline,
+        "lazypoline",
         0.5,
         3,
     )
@@ -96,9 +93,12 @@ fn content_integrity_under_interposition() {
         if pid == 0 {
             drop(r);
             let mut w = w;
-            interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
-            if lazypoline::init(lazypoline::Config::default()).is_err() {
-                std::process::exit(2);
+            match mechanism::by_name("lazypoline")
+                .unwrap()
+                .install(Box::new(interpose::PassthroughHandler))
+            {
+                Ok(active) => std::mem::forget(active),
+                Err(_) => std::process::exit(2),
             }
             let server = Server::bind(ServerConfig {
                 flavor: Flavor::NginxLike,
@@ -143,7 +143,7 @@ fn content_integrity_under_interposition() {
         Flavor::LighttpdLike,
         1,
         65536,
-        ServerInterposition::Sud,
+        "sud",
         0.4,
         2,
     )

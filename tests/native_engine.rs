@@ -10,11 +10,23 @@
 use std::process::Command;
 
 use interpose::{Action, CountHandler, PolicyBuilder, SyscallEvent, SyscallHandler};
-use lazypoline::{Config, XstateMask};
+use lazypoline::Config;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn environment_ready() -> bool {
     zpoline::Trampoline::environment_supported() && sud::is_supported()
+}
+
+/// Installs a named backend from the mechanism registry around
+/// `handler` — the scenarios' single entry point into native
+/// interposition. (The fault-injection scenarios below bypass this and
+/// drive `lazypoline::init` directly: they assert on engine internals
+/// beneath the mechanism layer.)
+fn install(name: &str, handler: Box<dyn SyscallHandler>) -> mechanism::ActiveMechanism {
+    mechanism::by_name(name)
+        .unwrap_or_else(|| panic!("unknown mechanism {name}"))
+        .install(handler)
+        .unwrap_or_else(|e| panic!("install {name}: {e}"))
 }
 
 // ——— scenarios (run in child processes) ————————————————————————————
@@ -27,8 +39,7 @@ fn scenario_engine_counts() {
             self.0.handle(ev)
         }
     }
-    interpose::set_global_handler(Box::new(Fwd(counter)));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(Fwd(counter)));
 
     for _ in 0..50 {
         let _ = std::fs::metadata("/tmp");
@@ -39,8 +50,8 @@ fn scenario_engine_counts() {
     std::fs::remove_file(&tmp).unwrap();
     assert_eq!(back, b"roundtrip");
 
-    engine.unenroll_current_thread();
-    let stats = engine.stats();
+    active.detach();
+    let stats = active.stats();
     assert!(stats.sites_patched >= 3, "{stats:?}");
     assert!(stats.dispatches > stats.slow_path_hits, "{stats:?}");
     assert!(
@@ -71,8 +82,7 @@ fn scenario_signals() {
         HANDLER_RAN.fetch_add(1, Ordering::SeqCst);
     }
 
-    interpose::set_global_handler(Box::new(Spy));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(Spy));
 
     unsafe {
         // Register through libc (this rt_sigaction is itself
@@ -95,13 +105,13 @@ fn scenario_signals() {
     assert_eq!(HANDLER_RAN.load(Ordering::SeqCst), 5);
     // After each delivery the selector must be live again: new syscall
     // sites still get discovered.
-    let pre = engine.stats().signals_wrapped;
+    let pre = active.stats().signals_wrapped;
     assert!(pre >= 5, "wrapped {pre}");
     assert!(sud::selector() == sud::Dispatch::Block, "selector lost");
 
     // The raise() syscalls themselves were observed.
     assert!(SEEN_KILL.load(Ordering::SeqCst) >= 1);
-    engine.unenroll_current_thread();
+    active.detach();
 }
 
 fn scenario_threads() {
@@ -112,8 +122,7 @@ fn scenario_threads() {
             self.0.handle(ev)
         }
     }
-    interpose::set_global_handler(Box::new(Fwd(counter)));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(Fwd(counter)));
 
     // Threads created *after* enrollment are enrolled via the clone
     // shim (paper §IV-B(a)).
@@ -133,7 +142,7 @@ fn scenario_threads() {
     for h in handles {
         assert_eq!(h.join().unwrap(), std::process::id());
     }
-    engine.unenroll_current_thread();
+    active.detach();
     // 4 threads × 25 writes must all have been observed.
     assert!(
         counter.count(syscalls::nr::WRITE) >= 100,
@@ -144,8 +153,7 @@ fn scenario_threads() {
 }
 
 fn scenario_fork() {
-    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(interpose::PassthroughHandler));
     unsafe {
         let pid = libc::fork();
         assert!(pid >= 0);
@@ -161,24 +169,19 @@ fn scenario_fork() {
         assert!(libc::WIFEXITED(status));
         assert_eq!(libc::WEXITSTATUS(status), 33, "child was not interposed");
     }
-    engine.unenroll_current_thread();
+    active.detach();
 }
 
 fn scenario_sud_only() {
     // lazy_rewriting = false: a pure SUD interposer. Everything still
     // works, nothing is patched.
-    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
-    let engine = lazypoline::init(Config {
-        lazy_rewriting: false,
-        ..Config::default()
-    })
-    .expect("init");
+    let mut active = install("sud", Box::new(interpose::PassthroughHandler));
     let tmp = std::env::temp_dir().join(format!("lp-sudonly-{}", std::process::id()));
     std::fs::write(&tmp, b"pure sud").unwrap();
     assert_eq!(std::fs::read(&tmp).unwrap(), b"pure sud");
     std::fs::remove_file(&tmp).unwrap();
-    engine.unenroll_current_thread();
-    let stats = engine.stats();
+    active.detach();
+    let stats = active.stats();
     assert_eq!(stats.sites_patched, 0, "{stats:?}");
     // Disabled rewriting is a *configuration* state, counted apart from
     // genuine patch failures.
@@ -188,12 +191,7 @@ fn scenario_sud_only() {
 }
 
 fn scenario_xstate() {
-    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
-    let engine = lazypoline::init(Config {
-        xstate: XstateMask::Avx,
-        ..Config::default()
-    })
-    .expect("init");
+    let mut active = install("lazypoline", Box::new(interpose::PassthroughHandler));
     // Interposed getpid with a live xmm sentinel (the Listing 1
     // pattern) — via the *slow path first*, then the fast path.
     for round in 0..3u64 {
@@ -217,15 +215,14 @@ fn scenario_xstate() {
         assert_eq!(pid, std::process::id() as u64, "round {round}");
         assert_eq!(after, sentinel, "xmm9 clobbered in round {round}");
     }
-    engine.unenroll_current_thread();
-    assert!(engine.stats().sites_patched >= 1);
+    active.detach();
+    assert!(active.stats().sites_patched >= 1);
 }
 
 fn scenario_rewrite_stress() {
     // Many threads hammering overlapping syscall sites: the rewrite
     // spinlock and already-patched race handling must hold up.
-    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(interpose::PassthroughHandler));
     let handles: Vec<_> = (0..8)
         .map(|i| {
             std::thread::spawn(move || {
@@ -244,8 +241,8 @@ fn scenario_rewrite_stress() {
     for h in handles {
         h.join().unwrap();
     }
-    engine.unenroll_current_thread();
-    let stats = engine.stats();
+    active.detach();
+    let stats = active.stats();
     assert!(stats.dispatches >= 1000, "{stats:?}");
 }
 
@@ -253,11 +250,10 @@ fn scenario_policy_native() {
     let policy = PolicyBuilder::allow_by_default()
         .deny(syscalls::nr::SOCKET)
         .build();
-    interpose::set_global_handler(Box::new(policy));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(policy));
     let denied = std::net::TcpStream::connect("127.0.0.1:1").is_err();
     let allowed = std::fs::metadata("/tmp").is_ok();
-    engine.unenroll_current_thread();
+    active.detach();
     assert!(denied && allowed);
 }
 
@@ -280,10 +276,9 @@ fn scenario_post_rewrite() {
     // it keeps dispatching even after unenroll (one-way by design), so
     // a post-unenroll getpid would be rewritten too.
     let real = std::process::id() as u64;
-    interpose::set_global_handler(Box::new(Shift));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(Shift));
     let seen = unsafe { libc::getpid() } as u64;
-    engine.unenroll_current_thread();
+    active.detach();
     assert_eq!(seen, real + 7, "post hook did not rewrite the result");
 }
 
@@ -299,12 +294,11 @@ fn scenario_latency_histogram() {
             self.0.post(ev, ret)
         }
     }
-    interpose::set_global_handler(Box::new(Fwd(h)));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(Fwd(h)));
     for _ in 0..200 {
         let _ = std::fs::metadata("/tmp");
     }
-    engine.unenroll_current_thread();
+    active.detach();
     assert!(h.samples() >= 200, "samples {}", h.samples());
     let median = h.approx_median().unwrap();
     assert!(median > 16, "implausible syscall latency {median}");
@@ -313,8 +307,7 @@ fn scenario_latency_histogram() {
 fn scenario_sigprocmask_guard() {
     // An application blocking "all" signals must not be able to stall
     // interposition: the dispatcher strips SIGSYS from every mask.
-    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(interpose::PassthroughHandler));
     unsafe {
         let mut all: libc::sigset_t = std::mem::zeroed();
         libc::sigfillset(&mut all);
@@ -347,7 +340,7 @@ fn scenario_sigprocmask_guard() {
         libc::sigemptyset(&mut none);
         libc::pthread_sigmask(libc::SIG_SETMASK, &none, std::ptr::null_mut());
     }
-    engine.unenroll_current_thread();
+    active.detach();
 }
 
 fn scenario_nested_signals() {
@@ -365,8 +358,7 @@ fn scenario_nested_signals() {
         let _ = std::fs::metadata("/proc/self");
     }
 
-    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(interpose::PassthroughHandler));
     unsafe {
         let mut sa: libc::sigaction = std::mem::zeroed();
         sa.sa_sigaction = on_usr1 as *const () as usize;
@@ -383,7 +375,7 @@ fn scenario_nested_signals() {
     assert_eq!(sud::selector(), sud::Dispatch::Block, "selector lost");
     let wrapped = lazypoline::stats().signals_wrapped;
     assert!(wrapped >= 6, "wrapped {wrapped}");
-    engine.unenroll_current_thread();
+    active.detach();
     // Still fully functional afterwards.
     assert!(std::fs::metadata("/tmp").is_ok());
 }
@@ -396,11 +388,10 @@ fn scenario_path_remap() {
     std::fs::write(&decoy, b"remapped contents\n").unwrap();
     let remap = interpose::PathRemapHandler::new()
         .rule("/etc/hostname", decoy.to_str().unwrap());
-    interpose::set_global_handler(Box::new(remap));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(remap));
     let seen = std::fs::read_to_string("/etc/hostname").unwrap();
     let untouched = std::fs::read_to_string("/proc/self/comm").unwrap();
-    engine.unenroll_current_thread();
+    active.detach();
     std::fs::remove_file(&decoy).unwrap();
     assert_eq!(seen, "remapped contents\n", "open was not redirected");
     assert!(!untouched.is_empty(), "unrelated opens broke");
@@ -445,8 +436,7 @@ fn scenario_batch_rewrite() {
     // Multi-site workload, batching on (the default): the FIRST site's
     // SIGSYS must patch every site on the page, so the remaining calls
     // all enter through the fast path.
-    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
-    let engine = lazypoline::init(Config::default()).expect("init");
+    let mut active = install("lazypoline", Box::new(interpose::PassthroughHandler));
     unsafe {
         let p = emit_getpid_page(JIT_SITES);
         // Resolve the expected pid *before* the measurement window:
@@ -467,18 +457,13 @@ fn scenario_batch_rewrite() {
         assert!(patched >= JIT_SITES as u64, "page not swept: {after:?}");
         libc::munmap(p as *mut _, 4096);
     }
-    engine.unenroll_current_thread();
+    active.detach();
 }
 
 fn scenario_batch_ablation() {
     // Same workload with batch_rewriting off: every site pays its own
     // SIGSYS — the baseline batch rewriting is measured against.
-    interpose::set_global_handler(Box::new(interpose::PassthroughHandler));
-    let engine = lazypoline::init(Config {
-        batch_rewriting: false,
-        ..Config::default()
-    })
-    .expect("init");
+    let mut active = install("lazypoline-nobatch", Box::new(interpose::PassthroughHandler));
     unsafe {
         let p = emit_getpid_page(JIT_SITES);
         // Keep libc's getpid site out of the measurement window (see
@@ -497,7 +482,7 @@ fn scenario_batch_ablation() {
         );
         libc::munmap(p as *mut _, 4096);
     }
-    engine.unenroll_current_thread();
+    active.detach();
 }
 
 // ——— robustness scenarios (fault injection / degradation) ———————————
@@ -945,6 +930,158 @@ fn scenario_degraded_smoke() {
     engine.unenroll_current_thread();
 }
 
+// ——— mechanism-layer scenarios ——————————————————————————————————————
+
+/// One syscall to the non-existent number 500 through inline asm — a
+/// single distinct site, like [`asm_getpid`].
+#[inline(never)]
+fn asm_nosys() -> u64 {
+    let ret: u64;
+    unsafe {
+        std::arch::asm!(
+            "mov eax, 500",
+            "syscall",
+            out("rax") ret,
+            out("rcx") _, out("r11") _,
+            in("rdi") 0u64, in("rsi") 0u64, in("rdx") 0u64,
+            in("r10") 0u64, in("r8") 0u64, in("r9") 0u64,
+        );
+    }
+    ret
+}
+
+fn scenario_mechanism_differential() {
+    // Cross-mechanism differential: a fixed syscall workload must
+    // produce identical observable results under every native backend,
+    // each constructed purely by registry name. Backends differ only in
+    // *how many* events they can observe (exhaustive vs one-shot vs
+    // none), never in what the application sees.
+    static GETPID_SEEN: AtomicU64 = AtomicU64::new(0);
+    static NOSYS_SEEN: AtomicU64 = AtomicU64::new(0);
+    struct Recorder;
+    impl SyscallHandler for Recorder {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            if ev.call.nr == syscalls::nr::GETPID {
+                GETPID_SEEN.fetch_add(1, Ordering::SeqCst);
+            } else if ev.call.nr == syscalls::NONEXISTENT_SYSCALL {
+                NOSYS_SEEN.fetch_add(1, Ordering::SeqCst);
+            }
+            Action::Passthrough
+        }
+    }
+
+    // Execution order matters only for the SIGSYS owners: `none` and
+    // `sud-allow` run first so the asm sites are still virgin (no
+    // trampoline dispatch can reach a handler), and `sud-raw` must
+    // precede any engine-backed row (it owns the SIGSYS disposition).
+    let backends: &[(&str, bool)] = &[
+        // (name, exhaustive observation expected)
+        ("none", false),
+        ("sud-allow", false),
+        ("sud-raw", false),
+        ("sud", true),
+        ("lazypoline", true),
+        ("lazypoline-nox", true),
+        ("lazypoline-nobatch", true),
+        ("zpoline", true),
+    ];
+
+    let pid = std::process::id() as u64;
+    let enosys = syscalls::Errno::ENOSYS.as_ret();
+    let mut reference: Option<Vec<u64>> = None;
+    for &(name, exhaustive) in backends {
+        GETPID_SEEN.store(0, Ordering::SeqCst);
+        NOSYS_SEEN.store(0, Ordering::SeqCst);
+        let mut active = install(name, Box::new(Recorder));
+        let mut results = Vec::new();
+        for _ in 0..8 {
+            results.push(asm_getpid());
+        }
+        results.push(asm_nosys());
+        active.detach();
+        let stats = active.stats();
+        drop(active);
+
+        // 1. Observable results are identical across every backend.
+        assert_eq!(results[..8], [pid; 8], "{name}: wrong getpid results");
+        assert_eq!(results[8], enosys, "{name}: wrong ENOSYS result");
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(*r, results, "{name}: differs from reference"),
+        }
+
+        // 2. Observation counts match each backend's contract.
+        let getpids = GETPID_SEEN.load(Ordering::SeqCst);
+        let nosys = NOSYS_SEEN.load(Ordering::SeqCst);
+        if exhaustive {
+            assert!(getpids >= 8, "{name}: observed {getpids} < 8 getpids");
+            assert!(nosys >= 1, "{name}: missed the nr-500 syscall");
+            assert!(stats.dispatches >= 9, "{name}: {stats:?}");
+        } else if name == "sud-raw" {
+            // One-shot per arming: exactly the first syscall.
+            assert_eq!(getpids, 1, "{name}: one-shot contract broken");
+            assert_eq!(nosys, 0, "{name}");
+            assert_eq!(stats.dispatches, 1, "{name}: {stats:?}");
+        } else {
+            assert_eq!(getpids + nosys, 0, "{name}: observed without a mechanism");
+            assert_eq!(stats.dispatches, 0, "{name}: {stats:?}");
+        }
+    }
+}
+
+fn scenario_mechanism_smoke() {
+    // Honors whatever LP_MECHANISM the harness (e.g. the CI mechanism
+    // matrix) passed through: the named backend must install, interpose
+    // a small workload, and tear down cleanly.
+    let backend = mechanism::from_env()
+        .unwrap_or_else(|e| panic!("LP_MECHANISM must name a registered mechanism: {e}"));
+    if backend.name().starts_with("sim:") {
+        // Simulated backend: drive a canned program through the same
+        // trait instead of this process's syscalls.
+        let mut active = backend
+            .install(Box::new(interpose::PassthroughHandler))
+            .expect("sim install");
+        let outcome = active
+            .run_program(&sim_workloads::bench::microbench(50))
+            .expect("sim run");
+        assert_eq!(outcome.exit, 0, "{}: bad exit", active.mechanism_name());
+        println!(
+            "mechanism {}: simulated, {} syscalls observed",
+            active.mechanism_name(),
+            outcome.observed.len()
+        );
+        return;
+    }
+    if !backend.is_available() {
+        println!("mechanism {}: unavailable on this host, skipping", backend.name());
+        return;
+    }
+    if backend.name() == "sud-raw" && lazypoline::Engine::is_initialized() {
+        println!("mechanism sud-raw: engine already initialized, skipping");
+        return;
+    }
+    let mut active = backend
+        .install(Box::new(interpose::PassthroughHandler))
+        .unwrap_or_else(|e| panic!("install {}: {e}", backend.name()));
+    let pid = std::process::id() as u64;
+    for i in 0..10 {
+        assert_eq!(asm_getpid(), pid, "call {i}");
+    }
+    let tmp = std::env::temp_dir().join(format!("lp-mech-smoke-{}", std::process::id()));
+    std::fs::write(&tmp, b"smoke").unwrap();
+    assert_eq!(std::fs::read(&tmp).unwrap(), b"smoke");
+    std::fs::remove_file(&tmp).unwrap();
+    active.detach();
+    let stats = active.stats();
+    println!(
+        "mechanism {}: {} dispatches, {} slow-path, {} patched",
+        active.mechanism_name(),
+        stats.dispatches,
+        stats.slow_path_hits,
+        stats.sites_patched
+    );
+}
+
 // ——— harness ————————————————————————————————————————————————————————
 
 const SCENARIOS: &[(&str, fn())] = &[
@@ -970,6 +1107,8 @@ const SCENARIOS: &[(&str, fn())] = &[
     ("panic_quarantine", scenario_panic_quarantine),
     ("fault_prescan_only", scenario_fault_prescan_only),
     ("degraded_smoke", scenario_degraded_smoke),
+    ("mechanism_differential", scenario_mechanism_differential),
+    ("mechanism_smoke", scenario_mechanism_smoke),
 ];
 
 fn main() {

@@ -176,3 +176,118 @@ fn sud_mechanism_dispatches_every_call() {
     // 50 microbench syscalls dispatched via SIGSYS (exit_group too).
     assert_eq!(st.sud_dispatches, 51, "{st:?}");
 }
+
+#[test]
+fn mechanism_registry_runs_sim_backends_by_name() {
+    // Cross-mechanism differential through the registry: one fixed
+    // workload (3 getpids + exit_group), every `sim:*` backend
+    // constructed purely by name, identical observable results. The
+    // backends differ only in observation capability — exactly the
+    // Table I expressiveness split.
+    use interpose::{Action, SyscallEvent, SyscallHandler};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let program = Asm::new()
+        .mov_ri(Gpr::R0, sysno::GETPID)
+        .syscall()
+        .mov_ri(Gpr::R0, sysno::GETPID)
+        .syscall()
+        .mov_ri(Gpr::R0, sysno::GETPID)
+        .syscall()
+        .mov_ri(Gpr::R0, sysno::EXIT_GROUP)
+        .mov_ri(Gpr::R1, 0)
+        .syscall()
+        .assemble_at(sim_kernel::kernel::LOAD_ADDR)
+        .unwrap();
+
+    static SEEN: AtomicU64 = AtomicU64::new(0);
+    struct Spy;
+    impl SyscallHandler for Spy {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            if ev.call.nr == sysno::GETPID {
+                SEEN.fetch_add(1, Ordering::SeqCst);
+            }
+            Action::Passthrough
+        }
+    }
+
+    let observing = [
+        "sim:ptrace",
+        "sim:seccomp-user",
+        "sim:sud",
+        "sim:zpoline",
+        "sim:lazypoline-nox",
+        "sim:lazypoline",
+    ];
+    let blind = ["sim:baseline", "sim:baseline-sud", "sim:seccomp-bpf"];
+    for (names, expect_seen) in [(&observing[..], true), (&blind[..], false)] {
+        for &name in names {
+            SEEN.store(0, Ordering::SeqCst);
+            let backend =
+                mechanism::by_name(name).unwrap_or_else(|| panic!("{name} unregistered"));
+            assert!(backend.is_available(), "{name}");
+            let mut active = backend.install(Box::new(Spy)).expect("install");
+            let outcome = active
+                .run_program(&program)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            // 1. The application-observable result is identical under
+            //    every mechanism.
+            assert_eq!(outcome.exit, 0, "{name}: exit status diverged");
+            // 2. Observation matches the mechanism's contract.
+            let seen = SEEN.load(Ordering::SeqCst);
+            let getpids = outcome
+                .observed
+                .iter()
+                .filter(|&&n| n == sysno::GETPID)
+                .count();
+            if expect_seen {
+                assert_eq!(seen, 3, "{name}: handler saw {seen} getpids");
+                assert_eq!(getpids, 3, "{name}: trace has {getpids} getpids");
+                assert!(active.stats().dispatches >= 4, "{name}: {:?}", active.stats());
+            } else {
+                assert_eq!(seen, 0, "{name}: blind mechanism delivered events");
+                assert!(
+                    outcome.observed.is_empty(),
+                    "{name}: unexpectedly observed {:?}",
+                    outcome.observed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lp_mechanism_env_selects_sim_backends() {
+    // Every simulated mechanism is registered by name...
+    for name in [
+        "sim:baseline",
+        "sim:baseline-sud",
+        "sim:ptrace",
+        "sim:seccomp-bpf",
+        "sim:seccomp-user",
+        "sim:sud",
+        "sim:zpoline",
+        "sim:lazypoline-nox",
+        "sim:lazypoline",
+    ] {
+        assert!(
+            mechanism::names().contains(&name),
+            "{name} missing from the registry"
+        );
+    }
+    // ...and LP_MECHANISM selects one (restore any ambient value: the
+    // CI mechanism matrix exports it for the whole run).
+    let ambient = std::env::var(mechanism::ENV_VAR).ok();
+    std::env::set_var(mechanism::ENV_VAR, "sim:seccomp-user");
+    let picked = mechanism::from_env().expect("selection by env");
+    assert_eq!(picked.name(), "sim:seccomp-user");
+    std::env::set_var(mechanism::ENV_VAR, "sim:definitely-not-registered");
+    match mechanism::from_env() {
+        Ok(b) => panic!("unknown name resolved to {}", b.name()),
+        Err(err) => assert!(err.to_string().contains("sim:lazypoline"), "{err}"),
+    }
+    match ambient {
+        Some(v) => std::env::set_var(mechanism::ENV_VAR, v),
+        None => std::env::remove_var(mechanism::ENV_VAR),
+    }
+}
