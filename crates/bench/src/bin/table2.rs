@@ -45,7 +45,10 @@ fn with_stats(row: Json, stats: Option<&mechanism::StatsSnapshot>) -> Json {
             .field("signals_wrapped", Json::Int(s.signals_wrapped))
             .field("patch_retries", Json::Int(s.patch_retries))
             .field("pages_blocklisted", Json::Int(s.pages_blocklisted))
-            .field("quarantined_handlers", Json::Int(s.quarantined_handlers)),
+            .field("quarantined_handlers", Json::Int(s.quarantined_handlers))
+            .field("events_recorded", Json::Int(s.events_recorded))
+            .field("events_dropped", Json::Int(s.events_dropped))
+            .field("replay_divergences", Json::Int(s.replay_divergences)),
     )
 }
 

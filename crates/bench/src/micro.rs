@@ -72,6 +72,9 @@ pub struct MicroResults {
     pub lazypoline_nox: Measurement,
     /// Rewritten site, SUD enabled, full xstate preservation.
     pub lazypoline: Measurement,
+    /// Full lazypoline with the flight recorder mirroring every
+    /// syscall into the per-thread rings (record-overhead row).
+    pub lazypoline_record: Measurement,
     /// Pure SUD interposition (SIGSYS per syscall).
     pub sud: Measurement,
     /// Per-row mechanism counters (row label → delta snapshot covering
@@ -91,6 +94,7 @@ impl MicroResults {
             &self.zpoline,
             &self.lazypoline_nox,
             &self.lazypoline,
+            &self.lazypoline_record,
             &self.sud,
             &self.sud_enabled_allow,
         ]
@@ -210,7 +214,7 @@ struct RowSpec {
 /// Ordering constraint: `sud-raw` owns the `SIGSYS` disposition and
 /// must run before any engine-backed row initialises the engine
 /// (process-global, one-way).
-const TABLE2_PLAN: [RowSpec; 6] = [
+const TABLE2_PLAN: [RowSpec; 7] = [
     RowSpec {
         backend: "none",
         label: "baseline",
@@ -238,6 +242,14 @@ const TABLE2_PLAN: [RowSpec; 6] = [
     RowSpec {
         backend: "lazypoline",
         label: "lazypoline",
+        body: loop_fast,
+        prime: true,
+        detach: false,
+        capped: false,
+    },
+    RowSpec {
+        backend: "lazypoline+record",
+        label: "lazypoline+record (flight recorder)",
         body: loop_fast,
         prime: true,
         detach: false,
@@ -306,7 +318,8 @@ pub fn run_table2() -> MicroResults {
         measurements.push(m);
     }
     let mut it = measurements.into_iter();
-    let (baseline, sud_enabled_allow, sud_m, lazypoline_m, lazypoline_nox, zpoline_m) = (
+    let (baseline, sud_enabled_allow, sud_m, lazypoline_m, lazypoline_record, lazypoline_nox, zpoline_m) = (
+        it.next().unwrap(),
         it.next().unwrap(),
         it.next().unwrap(),
         it.next().unwrap(),
@@ -321,6 +334,7 @@ pub fn run_table2() -> MicroResults {
         zpoline: zpoline_m,
         lazypoline_nox,
         lazypoline: lazypoline_m,
+        lazypoline_record,
         sud: sud_m,
         stats,
         iters,

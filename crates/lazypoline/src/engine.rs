@@ -156,6 +156,15 @@ pub struct Stats {
     pub pages_blocklisted: u64,
     /// Interposer handlers quarantined after panicking (cumulative).
     pub quarantined_handlers: u64,
+    /// Syscall events captured into the flight-recorder rings
+    /// (cumulative; nonzero only while a `record` interposer runs).
+    pub events_recorded: u64,
+    /// Syscall events the flight recorder dropped to its overflow
+    /// policy (full ring or exhausted ring pool; cumulative).
+    pub events_dropped: u64,
+    /// Divergences replay handlers detected between an execution and
+    /// its trace (cumulative).
+    pub replay_divergences: u64,
 }
 
 /// Robustness snapshot: the active degradation-ladder rung plus the
@@ -424,6 +433,12 @@ pub fn stats() -> Stats {
         patch_retries: counters::get(&counters::PATCH_RETRIES),
         pages_blocklisted: counters::get(&counters::PAGES_BLOCKLISTED),
         quarantined_handlers: interpose::quarantined_handlers(),
+        // Recorder counters live in lp-replay (its rings own the drop
+        // accounting); the engine folds them in so `health()` and the
+        // benches report one uniform counter set.
+        events_recorded: replay::events_recorded(),
+        events_dropped: replay::events_dropped(),
+        replay_divergences: replay::replay_divergences(),
     }
 }
 

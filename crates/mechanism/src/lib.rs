@@ -33,6 +33,10 @@
 //! `sim:seccomp-user`, `sim:sud`, `sim:zpoline`, `sim:lazypoline-nox`,
 //! `sim:lazypoline`.
 //!
+//! Dynamic (parsed by [`by_name`], composed over the rows above):
+//! `<base>+record` (flight recorder around any backend) and
+//! `replay:<trace-path>` (deterministic replay of a recorded trace).
+//!
 //! # One-way caveats
 //!
 //! Native interposition is not fully reversible: engine initialisation
@@ -47,6 +51,7 @@
 #![deny(missing_docs)]
 
 mod native;
+mod record_replay;
 mod sim;
 
 use interpose::SyscallHandler;
@@ -161,6 +166,15 @@ pub struct StatsSnapshot {
     pub pages_blocklisted: u64,
     /// Interposer handlers quarantined after panicking.
     pub quarantined_handlers: u64,
+    /// Syscall events the flight recorder captured (nonzero only under
+    /// a `<base>+record` backend or a manually installed recorder).
+    pub events_recorded: u64,
+    /// Syscall events the flight recorder dropped to its overflow
+    /// policy.
+    pub events_dropped: u64,
+    /// Divergences replay detected between the execution and its trace
+    /// (nonzero only under `replay:<path>`).
+    pub replay_divergences: u64,
 }
 
 impl StatsSnapshot {
@@ -195,6 +209,8 @@ pub struct ActiveMechanism {
 pub(crate) enum Inner {
     Native(Box<native::NativeActive>),
     Sim(sim::SimActive),
+    Record(Box<record_replay::RecordActive>),
+    Replay(Box<record_replay::ReplayActive>),
 }
 
 impl ActiveMechanism {
@@ -212,6 +228,38 @@ impl ActiveMechanism {
         match &self.inner {
             Inner::Native(n) => n.snapshot(self.name),
             Inner::Sim(s) => s.snapshot(self.name),
+            Inner::Record(r) => r.snapshot(self.name),
+            Inner::Replay(r) => r.snapshot(self.name),
+        }
+    }
+
+    /// Ends a `<base>+record` backend's trace session early, returning
+    /// the summary (events written, events dropped). `None` for other
+    /// backends, or when no trace file was requested
+    /// (`LP_TRACE_OUT` unset), or after the session already finished.
+    /// Without this call the session finishes on drop, best-effort.
+    pub fn finish_recording(&mut self) -> Option<std::io::Result<replay::RecordSummary>> {
+        match &mut self.inner {
+            Inner::Record(r) => r.finish_recording(),
+            _ => None,
+        }
+    }
+
+    /// The first divergence a `replay:<path>` backend observed, if any.
+    /// `None` for other backends or while the replay is on-script.
+    pub fn replay_divergence(&self) -> Option<replay::Divergence> {
+        match &self.inner {
+            Inner::Replay(r) => r.first_divergence(),
+            _ => None,
+        }
+    }
+
+    /// The shared replay progress state of a `replay:<path>` backend
+    /// (trace length, cursor position, divergence count).
+    pub fn replay_state(&self) -> Option<&std::sync::Arc<replay::ReplayState>> {
+        match &self.inner {
+            Inner::Replay(r) => Some(r.state()),
+            _ => None,
         }
     }
 
@@ -221,8 +269,11 @@ impl ActiveMechanism {
     /// pure rewriting), raw-SUD backends park the selector at ALLOW.
     /// No-op for `none` and simulated backends.
     pub fn detach(&mut self) {
-        if let Inner::Native(n) = &mut self.inner {
-            n.detach();
+        match &mut self.inner {
+            Inner::Native(n) => n.detach(),
+            Inner::Record(r) => r.detach(),
+            Inner::Replay(r) => r.detach(),
+            Inner::Sim(_) => {}
         }
     }
 
@@ -233,6 +284,8 @@ impl ActiveMechanism {
     pub fn set_xstate(&mut self, mask: XstateMask) -> bool {
         match &mut self.inner {
             Inner::Native(n) => n.set_xstate(mask),
+            Inner::Record(r) => r.set_xstate(mask),
+            Inner::Replay(r) => r.set_xstate(mask),
             Inner::Sim(_) => false,
         }
     }
@@ -245,6 +298,8 @@ impl ActiveMechanism {
     pub fn run_program(&mut self, program: &[u8]) -> Result<SimOutcome, RunError> {
         match &mut self.inner {
             Inner::Sim(s) => s.run(program),
+            Inner::Record(r) => r.run_program(program),
+            Inner::Replay(r) => r.run_program(program),
             Inner::Native(_) => Err(RunError::NotSimulated),
         }
     }
@@ -264,7 +319,24 @@ pub fn names() -> Vec<&'static str> {
 }
 
 /// Looks a backend up by registry key.
+///
+/// Besides the static names above, two **dynamic** name forms are
+/// recognised (constructed on first lookup, cached for the process):
+///
+/// * `<base>+record` — any static backend with the flight recorder
+///   composed around the handler (e.g. `lazypoline+record`,
+///   `sim:lazypoline+record`). Set `LP_TRACE_OUT=<path>` to also drain
+///   the rings into a trace file.
+/// * `replay:<trace-path>` — deterministic replay of a recorded trace;
+///   the base mechanism comes from the trace header's source mechanism
+///   (override with `LP_REPLAY_BASE`).
 pub fn by_name(name: &str) -> Option<&'static dyn Mechanism> {
+    static_by_name(name).or_else(|| record_replay::dynamic_by_name(name))
+}
+
+/// Static-registry lookup only — used internally so dynamic backends
+/// resolve their base without recursing into the dynamic parser.
+pub(crate) fn static_by_name(name: &str) -> Option<&'static dyn Mechanism> {
     all().find(|m| m.name() == name)
 }
 

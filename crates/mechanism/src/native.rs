@@ -244,12 +244,19 @@ impl NativeActive {
     pub(crate) fn snapshot(&self, mechanism: &'static str) -> StatsSnapshot {
         let now = lazypoline::stats();
         let mut s = StatsSnapshot::zero(mechanism);
-        // Quarantine is registry-level, not engine-level: report it for
-        // every backend (the raw-SUD handler dispatches through the
-        // same registry).
+        // Quarantine and the recorder/replay counters are
+        // registry-level, not engine-level: report them for every
+        // backend (the raw-SUD handler dispatches through the same
+        // registry, and a record/replay wrapper may envelop any of
+        // them).
         s.quarantined_handlers = now
             .quarantined_handlers
             .saturating_sub(self.base.quarantined_handlers);
+        s.events_recorded = now.events_recorded.saturating_sub(self.base.events_recorded);
+        s.events_dropped = now.events_dropped.saturating_sub(self.base.events_dropped);
+        s.replay_divergences = now
+            .replay_divergences
+            .saturating_sub(self.base.replay_divergences);
         match &self.kind {
             NativeKind::Nothing | NativeKind::SudAllow => {}
             NativeKind::RawSud { .. } => {

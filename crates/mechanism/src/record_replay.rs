@@ -1,0 +1,257 @@
+//! Dynamic record/replay backends: `<base>+record` composes the
+//! flight recorder around any static backend; `replay:<trace-path>`
+//! re-executes a workload against a recorded trace.
+//!
+//! These are *names with payload*, so they cannot live in the static
+//! registry tables: [`dynamic_by_name`] parses the name on first
+//! lookup, builds the backend, leaks it (the registry hands out
+//! `&'static dyn Mechanism`), and caches it so repeated lookups of the
+//! same name return the same instance.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use interpose::SyscallHandler;
+use replay::{Divergence, RecordHandler, RecordSummary, Recorder, ReplayHandler, ReplayState};
+use sim_interpose::{Efficiency, Expressiveness, Traits};
+
+use crate::{
+    static_by_name, ActiveMechanism, InstallError, Inner, Mechanism, RunError, SimOutcome,
+    StatsSnapshot,
+};
+
+/// Environment variable naming the trace file a `<base>+record`
+/// backend drains its rings into. Unset: the flight recorder still
+/// runs (rings + counters), but nothing is written to disk.
+pub const TRACE_OUT_ENV: &str = "LP_TRACE_OUT";
+
+/// Environment variable overriding the base mechanism a
+/// `replay:<path>` backend installs (default: the trace header's
+/// source mechanism).
+pub const REPLAY_BASE_ENV: &str = "LP_REPLAY_BASE";
+
+/// Process-lifetime cache of constructed dynamic backends, keyed by
+/// the full name. Keeps repeated `by_name` calls from leaking a new
+/// backend each time.
+static CACHE: Mutex<Vec<(String, &'static dyn Mechanism)>> = Mutex::new(Vec::new());
+
+/// Parses a dynamic backend name; `None` if `name` matches neither
+/// form (or names an unknown base).
+pub(crate) fn dynamic_by_name(name: &str) -> Option<&'static dyn Mechanism> {
+    let mut cache = CACHE.lock().unwrap();
+    if let Some((_, m)) = cache.iter().find(|(k, _)| k == name) {
+        return Some(*m);
+    }
+    let built: &'static dyn Mechanism = if let Some(base_name) = name.strip_suffix("+record") {
+        let base = static_by_name(base_name)?;
+        Box::leak(Box::new(RecordBackend {
+            key: Box::leak(name.to_string().into_boxed_str()),
+            base,
+        }))
+    } else if let Some(path) = name.strip_prefix("replay:") {
+        if path.is_empty() {
+            return None;
+        }
+        Box::leak(Box::new(ReplayBackend {
+            key: Box::leak(name.to_string().into_boxed_str()),
+            path: PathBuf::from(path),
+        }))
+    } else {
+        return None;
+    };
+    cache.push((name.to_string(), built));
+    Some(built)
+}
+
+// ——— record ————————————————————————————————————————————————————————
+
+/// `<base>+record`: the base mechanism with a [`RecordHandler`]
+/// wrapped around the caller's handler.
+struct RecordBackend {
+    key: &'static str,
+    base: &'static dyn Mechanism,
+}
+
+impl Mechanism for RecordBackend {
+    fn name(&self) -> &'static str {
+        self.key
+    }
+
+    fn traits(&self) -> Traits {
+        self.base.traits()
+    }
+
+    fn is_available(&self) -> bool {
+        self.base.is_available()
+    }
+
+    fn install(
+        &self,
+        handler: Box<dyn SyscallHandler>,
+    ) -> Result<ActiveMechanism, InstallError> {
+        // Open the trace session (if requested) before arming the base
+        // so its header names the base and no early event is missed.
+        let recorder = match std::env::var(TRACE_OUT_ENV) {
+            Ok(path) if !path.is_empty() => Some(
+                Recorder::to_path(path.as_ref(), self.base.name()).map_err(InstallError::Io)?,
+            ),
+            _ => None,
+        };
+        let base = self
+            .base
+            .install(Box::new(RecordHandler::wrapping(handler)))?;
+        Ok(ActiveMechanism::new(
+            self.key,
+            Inner::Record(Box::new(RecordActive { base, recorder })),
+        ))
+    }
+}
+
+/// Live `<base>+record` installation: the base guard plus the optional
+/// trace session. Field order is teardown order — the base disarms
+/// (its last events land in the rings) before the recorder's drop
+/// performs the final drain.
+pub(crate) struct RecordActive {
+    base: ActiveMechanism,
+    recorder: Option<Recorder>,
+}
+
+impl RecordActive {
+    pub(crate) fn snapshot(&self, mechanism: &'static str) -> StatsSnapshot {
+        // The base snapshot already carries the recorder counters
+        // (they are registry-level, reported by every backend kind);
+        // only the attribution changes.
+        let mut s = self.base.stats();
+        s.mechanism = mechanism;
+        s
+    }
+
+    pub(crate) fn detach(&mut self) {
+        self.base.detach();
+    }
+
+    pub(crate) fn set_xstate(&mut self, mask: zpoline::XstateMask) -> bool {
+        self.base.set_xstate(mask)
+    }
+
+    pub(crate) fn run_program(&mut self, program: &[u8]) -> Result<SimOutcome, RunError> {
+        let out = self.base.run_program(program);
+        // Drain between guest runs so rings never overflow across a
+        // multi-run session (each sim run can observe more events than
+        // one ring holds).
+        if let Some(rec) = &mut self.recorder {
+            let _ = rec.drain();
+        }
+        out
+    }
+
+    pub(crate) fn finish_recording(&mut self) -> Option<std::io::Result<RecordSummary>> {
+        Some(self.recorder.take()?.finish())
+    }
+}
+
+// ——— replay ————————————————————————————————————————————————————————
+
+/// `replay:<trace-path>`: deterministic replay of a recorded trace.
+struct ReplayBackend {
+    key: &'static str,
+    path: PathBuf,
+}
+
+impl ReplayBackend {
+    /// The base mechanism to re-execute under: `LP_REPLAY_BASE` if
+    /// set, else the trace's own source mechanism, else the paper's
+    /// subject (`lazypoline` / `sim:lazypoline` by source family).
+    fn base_for(&self, source: &str) -> Result<&'static dyn Mechanism, InstallError> {
+        if let Ok(name) = std::env::var(REPLAY_BASE_ENV) {
+            if !name.is_empty() {
+                return static_by_name(&name)
+                    .ok_or(InstallError::Unsupported("LP_REPLAY_BASE names no backend"));
+            }
+        }
+        if let Some(m) = static_by_name(source) {
+            return Ok(m);
+        }
+        let fallback = if source.starts_with("sim:") {
+            "sim:lazypoline"
+        } else {
+            "lazypoline"
+        };
+        static_by_name(fallback).ok_or(InstallError::Unsupported("no replay base backend"))
+    }
+}
+
+impl Mechanism for ReplayBackend {
+    fn name(&self) -> &'static str {
+        self.key
+    }
+
+    fn traits(&self) -> Traits {
+        Traits {
+            name: "deterministic replay",
+            expressiveness: Expressiveness::Full,
+            exhaustive: true,
+            efficiency: Efficiency::High,
+        }
+    }
+
+    /// The trace is only read at install; a bad path surfaces there as
+    /// a structured [`InstallError::Io`], not here.
+    fn is_available(&self) -> bool {
+        true
+    }
+
+    fn install(
+        &self,
+        handler: Box<dyn SyscallHandler>,
+    ) -> Result<ActiveMechanism, InstallError> {
+        let state =
+            ReplayState::load(&self.path).map_err(|e| InstallError::Io(e.into()))?;
+        let base = self.base_for(&state.header().source_mechanism)?;
+        if !base.is_available() {
+            return Err(InstallError::Unsupported(
+                "replay base mechanism unavailable on this host",
+            ));
+        }
+        let replayer = ReplayHandler::new(Arc::clone(&state)).observing(handler);
+        let base = base.install(Box::new(replayer))?;
+        Ok(ActiveMechanism::new(
+            self.key,
+            Inner::Replay(Box::new(ReplayActive { base, state })),
+        ))
+    }
+}
+
+/// Live `replay:<path>` installation.
+pub(crate) struct ReplayActive {
+    base: ActiveMechanism,
+    state: Arc<ReplayState>,
+}
+
+impl ReplayActive {
+    pub(crate) fn snapshot(&self, mechanism: &'static str) -> StatsSnapshot {
+        let mut s = self.base.stats();
+        s.mechanism = mechanism;
+        s
+    }
+
+    pub(crate) fn detach(&mut self) {
+        self.base.detach();
+    }
+
+    pub(crate) fn set_xstate(&mut self, mask: zpoline::XstateMask) -> bool {
+        self.base.set_xstate(mask)
+    }
+
+    pub(crate) fn run_program(&mut self, program: &[u8]) -> Result<SimOutcome, RunError> {
+        self.base.run_program(program)
+    }
+
+    pub(crate) fn first_divergence(&self) -> Option<Divergence> {
+        self.state.first_divergence()
+    }
+
+    pub(crate) fn state(&self) -> &Arc<ReplayState> {
+        &self.state
+    }
+}

@@ -71,12 +71,7 @@ impl Mechanism for SimBackend {
     ) -> Result<ActiveMechanism, InstallError> {
         Ok(ActiveMechanism::new(
             self.key,
-            Inner::Sim(SimActive {
-                mech: self.mech,
-                handler,
-                dispatches: 0,
-                slow_path_hits: 0,
-            }),
+            Inner::Sim(SimActive::new(self.mech, handler)),
         ))
     }
 }
@@ -88,9 +83,30 @@ pub(crate) struct SimActive {
     handler: Box<dyn SyscallHandler>,
     dispatches: u64,
     slow_path_hits: u64,
+    /// Process-global recorder/replay counters at install time, so the
+    /// snapshot reports deltas attributable to this installation (same
+    /// contract as the native backends).
+    base_recorded: u64,
+    base_dropped: u64,
+    base_divergences: u64,
 }
 
 impl SimActive {
+    pub(crate) fn new(
+        mech: sim_interpose::Mechanism,
+        handler: Box<dyn SyscallHandler>,
+    ) -> SimActive {
+        SimActive {
+            mech,
+            handler,
+            dispatches: 0,
+            slow_path_hits: 0,
+            base_recorded: replay::events_recorded(),
+            base_dropped: replay::events_dropped(),
+            base_divergences: replay::replay_divergences(),
+        }
+    }
+
     pub(crate) fn run(&mut self, program: &[u8]) -> Result<SimOutcome, RunError> {
         // The handler's interest set plays the role the registry's
         // cached words play natively: observation-capable mechanisms
@@ -138,6 +154,10 @@ impl SimActive {
         let mut s = StatsSnapshot::zero(mechanism);
         s.dispatches = self.dispatches;
         s.slow_path_hits = self.slow_path_hits;
+        s.events_recorded = replay::events_recorded().saturating_sub(self.base_recorded);
+        s.events_dropped = replay::events_dropped().saturating_sub(self.base_dropped);
+        s.replay_divergences =
+            replay::replay_divergences().saturating_sub(self.base_divergences);
         s
     }
 }

@@ -1,0 +1,108 @@
+//! The fixed-size syscall event record — the unit of both the
+//! flight-recorder rings and the on-disk trace format.
+
+/// Encoded size of one [`EventRecord`] in a trace, in bytes.
+///
+/// 8 (sysno) + 48 (args) + 8 (ret) + 8 (tsc) + 8 (site) + 4 (tid) +
+/// 4 (pad), all little-endian. The size is part of the trace format
+/// contract (stored in the header, checked on read).
+pub const RECORD_SIZE: usize = 88;
+
+/// One recorded syscall: the complete invocation, its result, and
+/// where/when it happened.
+///
+/// Fixed-size and `Copy` so the hot path can store it into a
+/// pre-allocated ring slot with a plain memcpy — no allocation, no
+/// pointers, safe from signal-handler context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// The syscall number, post-rewrite (what actually executed).
+    pub sysno: u64,
+    /// The six argument registers, post-rewrite.
+    pub args: [u64; 6],
+    /// The raw return value delivered to the application.
+    pub ret: u64,
+    /// `rdtsc` timestamp at record time (0 on non-x86-64 builds).
+    /// Orders events across per-thread rings at drain time.
+    pub tsc: u64,
+    /// Invocation-site address, when the mechanism knows it (else 0).
+    pub site: u64,
+    /// Kernel thread id of the recording thread.
+    pub tid: u32,
+}
+
+impl EventRecord {
+    /// The all-zero record (ring slots start in this state).
+    pub const ZERO: EventRecord = EventRecord {
+        sysno: 0,
+        args: [0; 6],
+        ret: 0,
+        tsc: 0,
+        site: 0,
+        tid: 0,
+    };
+
+    /// Encodes into the fixed little-endian wire layout.
+    pub fn encode(&self) -> [u8; RECORD_SIZE] {
+        let mut out = [0u8; RECORD_SIZE];
+        out[0..8].copy_from_slice(&self.sysno.to_le_bytes());
+        for (i, a) in self.args.iter().enumerate() {
+            out[8 + i * 8..16 + i * 8].copy_from_slice(&a.to_le_bytes());
+        }
+        out[56..64].copy_from_slice(&self.ret.to_le_bytes());
+        out[64..72].copy_from_slice(&self.tsc.to_le_bytes());
+        out[72..80].copy_from_slice(&self.site.to_le_bytes());
+        out[80..84].copy_from_slice(&self.tid.to_le_bytes());
+        out
+    }
+
+    /// Decodes from the wire layout ([`encode`](EventRecord::encode)'s
+    /// inverse). Any byte pattern is a valid record — integrity is the
+    /// trace header's job, divergence detection is the replayer's.
+    pub fn decode(buf: &[u8; RECORD_SIZE]) -> EventRecord {
+        let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        let mut args = [0u64; 6];
+        for (i, a) in args.iter_mut().enumerate() {
+            *a = u64_at(8 + i * 8);
+        }
+        EventRecord {
+            sysno: u64_at(0),
+            args,
+            ret: u64_at(56),
+            tsc: u64_at(64),
+            site: u64_at(72),
+            tid: u32::from_le_bytes(buf[80..84].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = EventRecord {
+            sysno: syscalls::nr::READ,
+            args: [3, 0xdead_beef, 512, 1, 2, u64::MAX],
+            ret: (-11i64) as u64,
+            tsc: 0x1234_5678_9abc_def0,
+            site: 0x40_1234,
+            tid: 4242,
+        };
+        assert_eq!(EventRecord::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn zero_record_is_all_zero_bytes() {
+        assert_eq!(EventRecord::ZERO.encode(), [0u8; RECORD_SIZE]);
+        assert_eq!(EventRecord::decode(&[0u8; RECORD_SIZE]), EventRecord::ZERO);
+    }
+
+    #[test]
+    fn record_size_matches_layout() {
+        // 8 + 48 + 8 + 8 + 8 + 4 + 4 pad.
+        assert_eq!(RECORD_SIZE, 88);
+        assert_eq!(RECORD_SIZE % 8, 0, "records stay 8-byte aligned in a trace");
+    }
+}

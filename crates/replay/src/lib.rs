@@ -1,0 +1,46 @@
+//! Syscall record & replay on top of exhaustive interposition.
+//!
+//! The paper's central guarantee — lazypoline intercepts *every*
+//! syscall (§V-A) — is exactly the property record/replay systems need.
+//! This crate turns it into a subsystem with three layers:
+//!
+//! 1. **Flight recorder** ([`ring`], [`RecordHandler`]): a
+//!    [`SyscallHandler`](interpose::SyscallHandler) that mirrors every
+//!    intercepted syscall into lock-free per-thread SPSC rings
+//!    (drop-and-count on overflow; never perturbs the application).
+//! 2. **Trace format** ([`format`]): a [`Recorder`] session drains the
+//!    rings into a compact versioned binary trace — 64-byte header
+//!    (arch, page size, TSC calibration, drop count, source mechanism)
+//!    plus fixed 88-byte records — with an strace-like
+//!    [`dump_trace`] rendering built on the shared
+//!    [`format_syscall_line`](interpose::format_syscall_line).
+//! 3. **Deterministic replay** ([`ReplayHandler`]): re-runs a workload
+//!    against its trace, re-injecting recorded results for
+//!    nondeterministic syscalls ([`NONDETERMINISTIC`]) and raising a
+//!    structured, counted [`Divergence`] — never a panic — when the
+//!    execution departs from the script.
+//!
+//! The `lp-mechanism` registry exposes the ends of the pipe as
+//! `"<base>+record"` and `"replay:<trace-path>"` backends; the
+//! `lp-trace` binary is the command-line front end.
+
+#![deny(missing_docs)]
+
+mod event;
+pub mod format;
+mod record;
+mod replay;
+pub mod ring;
+
+pub use event::{EventRecord, RECORD_SIZE};
+pub use format::{
+    dump_trace, read_trace, read_trace_path, render_record, TraceError, TraceHeader, TraceWriter,
+    HEADER_SIZE, MAGIC, VERSION,
+};
+pub use record::{
+    events_dropped, events_recorded, RecordHandler, RecordSummary, Recorder,
+};
+pub use replay::{
+    is_nondeterministic, replay_divergences, Divergence, DivergenceKind, ReplayHandler,
+    ReplayState, NONDETERMINISTIC,
+};

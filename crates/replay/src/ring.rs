@@ -1,0 +1,284 @@
+//! Lock-free per-thread SPSC flight-recorder rings.
+//!
+//! The recorder's hot path runs inside the interposer — potentially in
+//! signal-handler context, potentially interrupting `malloc` — so it
+//! must never allocate, lock, or block. Every recording thread
+//! therefore owns one single-producer/single-consumer ring from a
+//! fixed static pool: the producer is that thread alone, the consumer
+//! is the (single) drainer. A full ring **drops the new event and
+//! counts the drop** rather than blocking or overwriting — the
+//! flight-recorder contract is "never perturb the application; account
+//! for every event either in the trace or in the drop counter".
+//!
+//! Threads beyond the pool size share nothing: they record nothing and
+//! count their events into a pool-exhaustion drop counter, preserving
+//! the `recorded + dropped == observed` invariant.
+
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::EventRecord;
+
+/// Entries per ring. Power of two (masked indexing); at 88 bytes per
+/// record one ring is 88 KiB, and the whole pool lives in BSS so only
+/// rings actually claimed by threads get backing pages.
+pub const RING_CAPACITY: usize = 1024;
+
+/// Rings in the static pool — matches the engine counter shard count;
+/// threads beyond this record nothing (drop-and-count).
+pub const MAX_RINGS: usize = 64;
+
+/// A slot holding one record. `UnsafeCell` because the producer writes
+/// it while the consumer may be scanning *other* slots; the head/tail
+/// protocol guarantees no slot is read and written concurrently.
+struct Slot(UnsafeCell<EventRecord>);
+
+// SAFETY: access to the cell is serialized by the ring's head/tail
+// protocol — the producer only writes slots in `[tail, head+cap)`, the
+// consumer only reads slots in `[tail, head)`, and each index is
+// published with Release/consumed with Acquire.
+unsafe impl Sync for Slot {}
+
+/// A single-producer single-consumer ring of [`EventRecord`]s with a
+/// drop-and-count overflow policy.
+///
+/// # Contract
+///
+/// `push` may be called from **one** thread at a time (the owning
+/// producer); `drain` from one thread at a time (the drainer). The two
+/// sides may run concurrently. The static pool upholds this by
+/// assigning each ring to at most one producer thread for the process
+/// lifetime and serializing drains behind the recorder session.
+pub struct SpscRing {
+    /// Next write index (monotonic; slot = index % capacity).
+    head: AtomicUsize,
+    /// Next read index (monotonic).
+    tail: AtomicUsize,
+    /// Events dropped because the ring was full.
+    dropped: AtomicU64,
+    slots: [Slot; RING_CAPACITY],
+}
+
+impl SpscRing {
+    /// An empty ring. `const` so the pool can live in a static.
+    #[allow(clippy::new_without_default)]
+    pub const fn new() -> SpscRing {
+        SpscRing {
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            slots: [const { Slot(UnsafeCell::new(EventRecord::ZERO)) }; RING_CAPACITY],
+        }
+    }
+
+    /// Appends `rec`; returns `false` (and counts the drop) when full.
+    ///
+    /// Producer side only. Allocation-free and async-signal-safe.
+    #[inline]
+    pub fn push(&self, rec: EventRecord) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= RING_CAPACITY {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // SAFETY: slot `head` is outside `[tail, head)` so the consumer
+        // is not reading it; this thread is the only producer.
+        unsafe {
+            *self.slots[head % RING_CAPACITY].0.get() = rec;
+        }
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Removes every available record in FIFO order, passing each to
+    /// `f`. Returns how many were drained. Consumer side only.
+    pub fn drain(&self, mut f: impl FnMut(EventRecord)) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        let mut idx = tail;
+        while idx != head {
+            // SAFETY: slots in `[tail, head)` are published by the
+            // producer's Release store and not rewritten until the
+            // consumer advances tail past them.
+            let rec = unsafe { *self.slots[idx % RING_CAPACITY].0.get() };
+            f(rec);
+            idx = idx.wrapping_add(1);
+        }
+        self.tail.store(head, Ordering::Release);
+        head.wrapping_sub(tail)
+    }
+
+    /// Records currently buffered (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.head
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.tail.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring currently holds no records (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative events dropped to the overflow policy.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+// ——— the static pool ———————————————————————————————————————————————
+
+static RINGS: [SpscRing; MAX_RINGS] = [const { SpscRing::new() }; MAX_RINGS];
+
+/// Next pool slot to hand out (monotonic; never reused — a ring's
+/// producer assignment is for the thread's lifetime, which keeps the
+/// SPSC contract trivially true).
+static NEXT_RING: AtomicUsize = AtomicUsize::new(0);
+
+/// Events dropped because more than [`MAX_RINGS`] threads recorded.
+static POOL_EXHAUSTED_DROPS: AtomicU64 = AtomicU64::new(0);
+
+/// TLS sentinel: not yet assigned.
+const UNASSIGNED: usize = usize::MAX;
+/// TLS sentinel: pool exhausted, this thread records nothing.
+const NO_RING: usize = usize::MAX - 1;
+
+thread_local! {
+    /// This thread's ring index. Const-initialized so the first access
+    /// — possibly from a signal handler — performs no lazy init.
+    static RING_IDX: Cell<usize> = const { Cell::new(UNASSIGNED) };
+}
+
+/// Appends `rec` to the calling thread's ring, claiming one from the
+/// pool on first use. Returns `false` when the event was dropped
+/// (ring full, or pool exhausted) — the drop is counted either way.
+#[inline]
+pub fn push_current_thread(rec: EventRecord) -> bool {
+    let idx = RING_IDX.with(|c| {
+        let cached = c.get();
+        if cached != UNASSIGNED {
+            return cached;
+        }
+        let claimed = NEXT_RING.fetch_add(1, Ordering::Relaxed);
+        let idx = if claimed < MAX_RINGS { claimed } else { NO_RING };
+        c.set(idx);
+        idx
+    });
+    if idx == NO_RING {
+        POOL_EXHAUSTED_DROPS.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    RINGS[idx].push(rec)
+}
+
+/// Drains every pool ring, passing records to `f` (per-ring FIFO
+/// order; cross-ring interleaving is the caller's to resolve, e.g. by
+/// sorting on [`EventRecord::tsc`]). Single drainer at a time.
+pub fn drain_all(mut f: impl FnMut(EventRecord)) -> usize {
+    RINGS.iter().map(|r| r.drain(&mut f)).sum()
+}
+
+/// Cumulative events dropped across the pool: full rings plus
+/// pool-exhausted threads.
+pub fn total_dropped() -> u64 {
+    RINGS.iter().map(SpscRing::dropped).sum::<u64>()
+        + POOL_EXHAUSTED_DROPS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(n: u64) -> EventRecord {
+        EventRecord {
+            sysno: n,
+            tsc: n,
+            ..EventRecord::ZERO
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let ring = SpscRing::new();
+        for i in 0..10 {
+            assert!(ring.push(rec(i)));
+        }
+        let mut seen = Vec::new();
+        assert_eq!(ring.drain(|r| seen.push(r.sysno)), 10);
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let ring = SpscRing::new();
+        for i in 0..(RING_CAPACITY as u64 + 17) {
+            ring.push(rec(i));
+        }
+        assert_eq!(ring.len(), RING_CAPACITY);
+        assert_eq!(ring.dropped(), 17);
+        // The *oldest* events survive (drop-newest policy).
+        let mut first = None;
+        ring.drain(|r| {
+            first.get_or_insert(r.sysno);
+        });
+        assert_eq!(first, Some(0));
+    }
+
+    #[test]
+    fn wraparound_across_many_generations() {
+        let ring = SpscRing::new();
+        let mut expect = 0u64;
+        for gen in 0..5 {
+            let n = RING_CAPACITY / 2 + gen; // never fills: no drops
+            for i in 0..n {
+                assert!(ring.push(rec(expect + i as u64)));
+            }
+            let mut drained = Vec::new();
+            assert_eq!(ring.drain(|r| drained.push(r.sysno)), n);
+            assert_eq!(drained.first(), Some(&expect));
+            assert_eq!(drained.last(), Some(&(expect + n as u64 - 1)));
+            expect += n as u64;
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let ring = Arc::new(SpscRing::new());
+        let done = Arc::new(AtomicBool::new(false));
+        const N: u64 = 50_000;
+
+        let producer = {
+            let ring = Arc::clone(&ring);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                for i in 0..N {
+                    if ring.push(rec(i)) {
+                        pushed += 1;
+                    }
+                }
+                done.store(true, Ordering::Release);
+                pushed
+            })
+        };
+
+        let mut seen = Vec::new();
+        loop {
+            ring.drain(|r| seen.push(r.sysno));
+            if done.load(Ordering::Acquire) && ring.is_empty() {
+                break;
+            }
+        }
+        let pushed = producer.join().unwrap();
+        assert_eq!(seen.len() as u64, pushed);
+        assert_eq!(pushed + ring.dropped(), N, "every event accounted for");
+        // Drained values are a strictly increasing subsequence of 0..N.
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "order violated");
+    }
+}

@@ -1,61 +1,87 @@
 //! strace-lite: print every syscall of a workload, exhaustively.
 //!
 //! This is the interposer configuration the paper's exhaustiveness
-//! experiment uses (§V-A): "print the current system call with all its
-//! arguments, then execute the syscall without modification and return
-//! the result".
+//! experiment uses (§V-A) — but routed through the record/replay
+//! subsystem: the workload is captured into a flight-recorder trace
+//! by the `<mechanism>+record` backend, then rendered with the shared
+//! `dump` path (`replay::dump_trace`, built on
+//! `interpose::format_syscall_line`). One recording doubles as both
+//! the strace-like text and a replayable artifact.
 //!
 //! ```sh
-//! cargo run --example strace_lite 2>trace.txt && head trace.txt
-//! LP_MECHANISM=sud cargo run --example strace_lite   # slow-path only
+//! cargo run --example strace_lite | head
+//! LP_MECHANISM=sud cargo run --example strace_lite        # slow-path only
+//! LP_MECHANISM=sim:lazypoline cargo run --example strace_lite   # simulated guest
 //! ```
 
-use interpose::{TraceHandler, TraceSink};
-
 fn main() {
-    let backend = match mechanism::from_env() {
+    let base = match mechanism::from_env() {
         Ok(b) => b,
         Err(e) => {
             eprintln!("skip: {e}");
             return;
         }
     };
-    if backend.name().starts_with("sim:") {
-        eprintln!(
-            "skip: LP_MECHANISM={} is a simulated mechanism; this example runs natively",
-            backend.name()
-        );
-        return;
-    }
-    if !backend.is_available() {
+    if !base.is_available() {
         eprintln!(
             "skip: {} unavailable here (needs Linux >= 5.11 SUD and/or vm.mmap_min_addr = 0)",
-            backend.name()
+            base.name()
         );
         return;
     }
+    let backend = if base.name().ends_with("+record") {
+        base // LP_MECHANISM already asked for recording
+    } else {
+        mechanism::by_name(&format!("{}+record", base.name()))
+            .expect("every registered backend composes with +record")
+    };
 
-    let mut active =
-        match backend.install(Box::new(TraceHandler::with_sink(TraceSink::Stderr))) {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("skip: {} install failed: {e}", backend.name());
-                return;
-            }
-        };
+    let trace = std::env::temp_dir().join(format!("strace_lite_{}.lpt", std::process::id()));
+    std::env::set_var("LP_TRACE_OUT", &trace);
+    let mut active = match backend.install(Box::new(interpose::PassthroughHandler)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("skip: {} install failed: {e}", backend.name());
+            return;
+        }
+    };
 
     // A small workload with a recognizable syscall mix.
-    let cwd = std::env::current_dir().unwrap();
-    let entries = std::fs::read_dir(&cwd).unwrap().count();
-    let pid = std::process::id();
+    if base.name().starts_with("sim:") {
+        let program = sim_workloads::jit::build();
+        let out = active.run_program(&program).expect("guest runs");
+        eprintln!("guest exit {} ({} syscalls observed)", out.exit, out.observed.len());
+    } else {
+        let cwd = std::env::current_dir().unwrap();
+        let entries = std::fs::read_dir(&cwd).unwrap().count();
+        eprintln!("pid {} sees {entries} entries in {}", std::process::id(), cwd.display());
+        active.detach();
+    }
 
-    active.detach();
     let stats = active.stats();
-    println!("pid {pid} sees {entries} entries in {}", cwd.display());
-    println!(
-        "traced {} syscalls under {} ({} sites rewritten lazily)",
+    let summary = active
+        .finish_recording()
+        .expect("+record backend has a session")
+        .expect("trace finishes");
+    drop(active);
+
+    // The shared rendering path: trace file -> strace-like text.
+    let mut out = std::io::stdout().lock();
+    replay::dump_trace(&summary.path, &mut out).expect("dump recorded trace");
+
+    eprintln!(
+        "traced {} syscalls under {} ({} recorded, {} dropped, {} sites rewritten lazily)",
         stats.dispatches,
-        active.mechanism_name(),
+        active_name(&summary.path),
+        summary.events,
+        summary.dropped,
         stats.sites_patched
     );
+    let _ = std::fs::remove_file(&summary.path);
+}
+
+fn active_name(trace: &std::path::Path) -> String {
+    replay::read_trace_path(trace)
+        .map(|(h, _)| h.source_mechanism)
+        .unwrap_or_else(|_| "?".into())
 }

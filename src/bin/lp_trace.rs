@@ -1,0 +1,162 @@
+//! `lp-trace` — command-line front end for the record/replay
+//! subsystem.
+//!
+//! ```sh
+//! lp-trace record /tmp/jit.lpt                    # record the fixed JIT workload (sim:lazypoline)
+//! lp-trace record /tmp/jit.lpt lazypoline         # record a native workload instead
+//! lp-trace replay /tmp/jit.lpt                    # re-execute against the trace (exit 1 on divergence)
+//! lp-trace dump   /tmp/jit.lpt                    # render the trace strace-style
+//! ```
+//!
+//! `record` runs a *fixed* workload so that `replay` of the same trace
+//! is deterministic: simulated mechanisms run the JIT guest program
+//! from the paper's exhaustiveness experiment (§V-A); native
+//! mechanisms run a small in-process file-system workload (replay of a
+//! native trace is best-effort — ambient runtime syscalls diverge, and
+//! the exit status says so).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lp-trace record <trace> [mechanism]   (default mechanism: sim:lazypoline)\n\
+         \x20      lp-trace replay <trace>\n\
+         \x20      lp-trace dump   <trace>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, trace] if cmd == "record" => record(Path::new(trace), "sim:lazypoline"),
+        [cmd, trace, mech] if cmd == "record" => record(Path::new(trace), mech),
+        [cmd, trace] if cmd == "replay" => replay(trace),
+        [cmd, trace] if cmd == "dump" => dump(Path::new(trace)),
+        _ => usage(),
+    }
+}
+
+/// The fixed native workload: a recognizable open/read/close + getpid
+/// mix, all through std so the syscalls are real.
+fn native_workload() {
+    let pid = std::process::id();
+    let bytes = std::fs::read("Cargo.toml").map(|b| b.len()).unwrap_or(0);
+    let entries = std::fs::read_dir(".").map(Iterator::count).unwrap_or(0);
+    eprintln!("workload: pid {pid}, Cargo.toml {bytes} bytes, {entries} dir entries");
+}
+
+fn record(trace: &Path, mech: &str) -> ExitCode {
+    let name = format!("{mech}+record");
+    let Some(backend) = mechanism::by_name(&name) else {
+        eprintln!("error: {mech:?} is not a registered mechanism");
+        return ExitCode::FAILURE;
+    };
+    if !backend.is_available() {
+        eprintln!("skip: {mech} unavailable on this host (needs SUD / page zero)");
+        return ExitCode::SUCCESS;
+    }
+    // The record backend opens its trace session from this variable.
+    std::env::set_var("LP_TRACE_OUT", trace);
+    let mut active = match backend.install(Box::new(interpose::PassthroughHandler)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: install {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if mech.starts_with("sim:") {
+        let program = sim_workloads::jit::build();
+        match active.run_program(&program) {
+            Ok(out) => eprintln!(
+                "guest exit {} after {} observed syscalls",
+                out.exit,
+                out.observed.len()
+            ),
+            Err(e) => {
+                eprintln!("error: guest run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        native_workload();
+        active.detach();
+    }
+
+    match active.finish_recording() {
+        Some(Ok(summary)) => {
+            println!(
+                "recorded {} events ({} dropped) under {} -> {}",
+                summary.events,
+                summary.dropped,
+                mech,
+                summary.path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(Err(e)) => {
+            eprintln!("error: finishing trace: {e}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("error: no trace session was active");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn replay(trace: &str) -> ExitCode {
+    let name = format!("replay:{trace}");
+    let backend = mechanism::by_name(&name).expect("replay: names always parse");
+    let mut active = match backend.install(Box::new(interpose::PassthroughHandler)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: cannot replay {trace}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let state = std::sync::Arc::clone(active.replay_state().expect("replay backend"));
+    let source = state.header().source_mechanism.clone();
+
+    if source.starts_with("sim:") {
+        let program = sim_workloads::jit::build();
+        if let Err(e) = active.run_program(&program) {
+            eprintln!("error: guest run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        native_workload();
+        active.detach();
+    }
+    drop(active);
+
+    let consumed = state.position();
+    if let Some(d) = state.first_divergence() {
+        eprintln!(
+            "replay DIVERGED ({} divergences, {consumed}/{} trace records consumed)",
+            state.divergences(),
+            state.len()
+        );
+        eprintln!("first: {d}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "replayed {consumed}/{} events from {} (recorded under {source}) with zero divergences",
+        state.len(),
+        trace
+    );
+    ExitCode::SUCCESS
+}
+
+fn dump(trace: &Path) -> ExitCode {
+    let mut out = std::io::stdout().lock();
+    match replay::dump_trace(trace, &mut out) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,6 +7,8 @@
 pub use httpd;
 pub use interpose;
 pub use lazypoline;
+pub use mechanism;
+pub use replay;
 pub use sud;
 pub use syscalls;
 pub use zpoline;
