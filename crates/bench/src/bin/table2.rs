@@ -30,7 +30,13 @@ const PAPER: &[(&str, f64)] = &[
 /// deltas, including the PR-2 robustness counters) to its JSON object.
 fn with_stats(row: Json, stats: Option<&mechanism::StatsSnapshot>) -> Json {
     let Some(s) = stats else { return row };
-    row.field(
+    let observed = s.events_recorded + s.events_dropped;
+    let drop_rate = if observed == 0 {
+        0.0
+    } else {
+        s.events_dropped as f64 / observed as f64
+    };
+    row.field("drop_rate", Json::Num(drop_rate)).field(
         "mechanism_stats",
         Json::obj()
             .field("mechanism", Json::Str(s.mechanism.into()))
@@ -48,6 +54,9 @@ fn with_stats(row: Json, stats: Option<&mechanism::StatsSnapshot>) -> Json {
             .field("quarantined_handlers", Json::Int(s.quarantined_handlers))
             .field("events_recorded", Json::Int(s.events_recorded))
             .field("events_dropped", Json::Int(s.events_dropped))
+            .field("events_spilled", Json::Int(s.events_spilled))
+            .field("ring_grows", Json::Int(s.ring_grows))
+            .field("ring_near_full", Json::Int(s.ring_near_full))
             .field("replay_divergences", Json::Int(s.replay_divergences)),
     )
 }
@@ -96,6 +105,22 @@ fn main() {
             max_sd
         );
         println!("(paper: Xeon Gold 5318S @2.1GHz, Linux 5.15; this host differs — compare shapes, not absolutes)");
+        if let Some(r) = &results.recording {
+            println!(
+                "recording row trace: {} events, {} dropped ({:.4}% drop rate), \
+                 {} bytes ({:.1} B/event, LPTRACE{})",
+                r.events,
+                r.dropped,
+                r.drop_rate() * 100.0,
+                r.bytes,
+                if r.events == 0 {
+                    0.0
+                } else {
+                    r.bytes as f64 / r.events as f64
+                },
+                r.format_version,
+            );
+        }
     }
 
     // Interest-filter dispatch cost: runs everywhere.
@@ -161,6 +186,25 @@ fn main() {
                 .field("iters", Json::Int(results.iters))
                 .field("runs", Json::Int(results.runs))
                 .field("rows", Json::Arr(rows));
+            if let Some(r) = &results.recording {
+                root = root.field(
+                    "recording",
+                    Json::obj()
+                        .field("events", Json::Int(r.events))
+                        .field("events_dropped", Json::Int(r.dropped))
+                        .field("drop_rate", Json::Num(r.drop_rate()))
+                        .field("trace_bytes", Json::Int(r.bytes))
+                        .field(
+                            "bytes_per_event",
+                            Json::Num(if r.events == 0 {
+                                0.0
+                            } else {
+                                r.bytes as f64 / r.events as f64
+                            }),
+                        )
+                        .field("format_version", Json::Int(u64::from(r.format_version))),
+                );
+            }
         }
         root = root.field(
             "interest_dispatch",

@@ -84,6 +84,11 @@ pub struct MicroResults {
     pub iters: u64,
     /// Runs per configuration.
     pub runs: u64,
+    /// Trace summary from the `lazypoline+record` row: that row runs
+    /// with a live trace session (async drain thread + mmap spill), so
+    /// the measured cost is the full production recording pipeline and
+    /// the summary proves (or disproves) the zero-drop claim.
+    pub recording: Option<mechanism::replay::RecordSummary>,
 }
 
 impl MicroResults {
@@ -207,6 +212,11 @@ struct RowSpec {
     /// Bound iterations by `LP_BENCH_SUD_ITERS` (the raw-SUD row pays a
     /// full signal round trip per iteration).
     capped: bool,
+    /// Run the row with a live trace session: `LP_TRACE_OUT` points at
+    /// a scratch trace so the `+record` backend spins up its drain
+    /// thread and spills for real — recording cost without the spill
+    /// pipeline would be a fiction.
+    record: bool,
 }
 
 /// The Table II measurement plan, in execution order.
@@ -222,6 +232,7 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         prime: false,
         detach: false,
         capped: false,
+        record: false,
     },
     RowSpec {
         backend: "sud-allow",
@@ -230,6 +241,7 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         prime: false,
         detach: false,
         capped: false,
+        record: false,
     },
     RowSpec {
         backend: "sud-raw",
@@ -238,6 +250,7 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         prime: false,
         detach: false,
         capped: true,
+        record: false,
     },
     RowSpec {
         backend: "lazypoline",
@@ -246,6 +259,7 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         prime: true,
         detach: false,
         capped: false,
+        record: false,
     },
     RowSpec {
         backend: "lazypoline+record",
@@ -254,6 +268,7 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         prime: true,
         detach: false,
         capped: false,
+        record: true,
     },
     RowSpec {
         backend: "lazypoline-nox",
@@ -262,6 +277,7 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         prime: true,
         detach: false,
         capped: false,
+        record: false,
     },
     RowSpec {
         backend: "zpoline",
@@ -269,13 +285,49 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         body: loop_fast,
         prime: true,
         detach: true,
-    capped: false,
+        capped: false,
+        record: false,
     },
 ];
 
 /// Installs `row.backend` by name, measures `row.body`, and returns the
-/// timing plus the backend's counter deltas for the window.
-fn measure_row(row: &RowSpec, iters: u64, runs: u64) -> (Measurement, mechanism::StatsSnapshot) {
+/// timing plus the backend's counter deltas for the window. Recording
+/// rows run with a live trace session; its summary rides along.
+fn measure_row(
+    row: &RowSpec,
+    iters: u64,
+    runs: u64,
+) -> (
+    Measurement,
+    mechanism::StatsSnapshot,
+    Option<mechanism::replay::RecordSummary>,
+) {
+    // A recording row must pay for the real pipeline: trace session,
+    // drain thread, mmap spill. `LP_TRACE_OUT` set by the caller keeps
+    // the trace; otherwise it lands in a scratch file we remove.
+    let mut scratch_trace = None;
+    let mut scratch_capacity = false;
+    if row.record && std::env::var_os("LP_TRACE_OUT").is_none() {
+        let path = std::env::temp_dir().join(format!("lp_table2_{}.lpt", std::process::id()));
+        std::env::set_var("LP_TRACE_OUT", &path);
+        scratch_trace = Some(path);
+    }
+    if row.record && std::env::var_os(mechanism::replay::ring::LP_RING_CAPACITY).is_none() {
+        // The bench thread is CPU-bound: on a single-core host the
+        // drainer only runs when the producer's timeslice expires, so
+        // the ring must absorb a full timeslice of production. Size it
+        // to hold one whole measured run — zero drops by construction,
+        // and the drainer still spills every event for the summary.
+        let capacity = (2 * iters).next_power_of_two().clamp(
+            mechanism::replay::ring::DEFAULT_RING_CAPACITY as u64,
+            mechanism::replay::ring::MAX_RING_CAPACITY as u64,
+        );
+        std::env::set_var(
+            mechanism::replay::ring::LP_RING_CAPACITY,
+            capacity.to_string(),
+        );
+        scratch_capacity = true;
+    }
     let backend = mechanism::by_name(row.backend)
         .unwrap_or_else(|| panic!("{} is not in the mechanism registry", row.backend));
     let mut active = backend
@@ -289,7 +341,22 @@ fn measure_row(row: &RowSpec, iters: u64, runs: u64) -> (Measurement, mechanism:
     }
     let m = measure(row.label, row.body, iters, runs);
     let stats = active.stats();
-    (m, stats)
+    let summary = if row.record {
+        let s = active
+            .finish_recording()
+            .map(|r| r.unwrap_or_else(|e| panic!("finishing {} trace: {e}", row.backend)));
+        if let Some(path) = scratch_trace {
+            std::env::remove_var("LP_TRACE_OUT");
+            let _ = std::fs::remove_file(&path);
+        }
+        if scratch_capacity {
+            std::env::remove_var(mechanism::replay::ring::LP_RING_CAPACITY);
+        }
+        s
+    } else {
+        None
+    };
+    (m, stats, summary)
 }
 
 /// Runs the full Table II benchmark session through the generic driver.
@@ -311,11 +378,13 @@ pub fn run_table2() -> MicroResults {
 
     let mut measurements = Vec::with_capacity(TABLE2_PLAN.len());
     let mut stats = Vec::with_capacity(TABLE2_PLAN.len());
+    let mut recording = None;
     for row in &TABLE2_PLAN {
         let row_iters = if row.capped { sud_iters } else { iters };
-        let (m, s) = measure_row(row, row_iters, runs);
+        let (m, s, summary) = measure_row(row, row_iters, runs);
         stats.push((row.label, s));
         measurements.push(m);
+        recording = recording.or(summary);
     }
     let mut it = measurements.into_iter();
     let (baseline, sud_enabled_allow, sud_m, lazypoline_m, lazypoline_record, lazypoline_nox, zpoline_m) = (
@@ -339,6 +408,7 @@ pub fn run_table2() -> MicroResults {
         stats,
         iters,
         runs,
+        recording,
     }
 }
 

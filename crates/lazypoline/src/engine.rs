@@ -165,6 +165,15 @@ pub struct Stats {
     /// Divergences replay handlers detected between an execution and
     /// its trace (cumulative).
     pub replay_divergences: u64,
+    /// Records the drain path moved from the rings into a trace file
+    /// (cumulative; async drain-thread sweeps and synchronous drains).
+    pub events_spilled: u64,
+    /// Adaptive capacity doublings of flight-recorder rings
+    /// (cumulative).
+    pub ring_grows: u64,
+    /// Ring pushes that observed near-full (≥3/4) occupancy —
+    /// backpressure the drain thread could not absorb (cumulative).
+    pub ring_near_full: u64,
 }
 
 /// Robustness snapshot: the active degradation-ladder rung plus the
@@ -439,6 +448,9 @@ pub fn stats() -> Stats {
         events_recorded: replay::events_recorded(),
         events_dropped: replay::events_dropped(),
         replay_divergences: replay::replay_divergences(),
+        events_spilled: replay::events_spilled(),
+        ring_grows: replay::ring::total_grows(),
+        ring_near_full: replay::ring::total_near_full(),
     }
 }
 

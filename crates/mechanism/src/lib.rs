@@ -55,6 +55,7 @@ mod record_replay;
 mod sim;
 
 use interpose::SyscallHandler;
+pub use replay;
 pub use sim_interpose::{Efficiency, Expressiveness, Traits};
 pub use zpoline::XstateMask;
 
@@ -175,6 +176,14 @@ pub struct StatsSnapshot {
     /// Divergences replay detected between the execution and its trace
     /// (nonzero only under `replay:<path>`).
     pub replay_divergences: u64,
+    /// Records the drain path spilled from the rings into a trace file
+    /// (async drain-thread sweeps and synchronous drains).
+    pub events_spilled: u64,
+    /// Adaptive capacity doublings of flight-recorder rings.
+    pub ring_grows: u64,
+    /// Ring pushes that observed near-full (≥3/4) occupancy —
+    /// recorder backpressure short of an actual drop.
+    pub ring_near_full: u64,
 }
 
 impl StatsSnapshot {

@@ -257,6 +257,9 @@ impl NativeActive {
         s.replay_divergences = now
             .replay_divergences
             .saturating_sub(self.base.replay_divergences);
+        s.events_spilled = now.events_spilled.saturating_sub(self.base.events_spilled);
+        s.ring_grows = now.ring_grows.saturating_sub(self.base.ring_grows);
+        s.ring_near_full = now.ring_near_full.saturating_sub(self.base.ring_near_full);
         match &self.kind {
             NativeKind::Nothing | NativeKind::SudAllow => {}
             NativeKind::RawSud { .. } => {

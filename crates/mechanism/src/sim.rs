@@ -89,6 +89,9 @@ pub(crate) struct SimActive {
     base_recorded: u64,
     base_dropped: u64,
     base_divergences: u64,
+    base_spilled: u64,
+    base_grows: u64,
+    base_near_full: u64,
 }
 
 impl SimActive {
@@ -104,6 +107,9 @@ impl SimActive {
             base_recorded: replay::events_recorded(),
             base_dropped: replay::events_dropped(),
             base_divergences: replay::replay_divergences(),
+            base_spilled: replay::events_spilled(),
+            base_grows: replay::ring::total_grows(),
+            base_near_full: replay::ring::total_near_full(),
         }
     }
 
@@ -158,6 +164,9 @@ impl SimActive {
         s.events_dropped = replay::events_dropped().saturating_sub(self.base_dropped);
         s.replay_divergences =
             replay::replay_divergences().saturating_sub(self.base_divergences);
+        s.events_spilled = replay::events_spilled().saturating_sub(self.base_spilled);
+        s.ring_grows = replay::ring::total_grows().saturating_sub(self.base_grows);
+        s.ring_near_full = replay::ring::total_near_full().saturating_sub(self.base_near_full);
         s
     }
 }

@@ -3,19 +3,27 @@
 //!
 //! # Layout
 //!
-//! A trace is a 64-byte header followed by a flat array of
-//! [`RECORD_SIZE`]-byte [`EventRecord`]s (count implied by file size):
+//! A trace is a 64-byte header followed by the record payload. Both
+//! format generations share the header layout; the magic carries the
+//! generation and selects the payload encoding:
 //!
 //! | offset | size | field |
 //! |-------:|-----:|-------|
-//! | 0  | 8  | magic `"LPTRACE1"` |
-//! | 8  | 4  | format version (LE u32, currently 1) |
+//! | 0  | 8  | magic `"LPTRACE1"` or `"LPTRACE2"` |
+//! | 8  | 4  | format version (LE u32; 1 or 2, matching the magic) |
 //! | 12 | 4  | architecture (ELF machine id; 62 = x86-64) |
 //! | 16 | 4  | page size of the recording host |
-//! | 20 | 4  | record size (must equal [`RECORD_SIZE`]) |
+//! | 20 | 4  | record size ([`RECORD_SIZE`] in v1; 0 in v2 — records are variable-length) |
 //! | 24 | 8  | TSC frequency in Hz (0 = uncalibrated) |
 //! | 32 | 8  | events dropped by the overflow policy (patched at finalize) |
 //! | 40 | 24 | recording mechanism name, NUL-padded |
+//!
+//! The v1 payload is a flat array of [`RECORD_SIZE`]-byte
+//! [`EventRecord`]s (count implied by file size). The v2 payload is a
+//! self-delimiting [`codec`](crate::codec) varint stream — clean EOF
+//! at a record boundary ends the trace. Readers accept both
+//! generations transparently; the writer picks one at creation
+//! ([`TraceHeader::version`]).
 //!
 //! Everything is little-endian. The header is written first with
 //! `events_dropped = 0` and patched in place on
@@ -26,13 +34,21 @@ use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use crate::codec::{Lp2Decoder, Lp2Encoder};
 use crate::event::{EventRecord, RECORD_SIZE};
 
-/// Trace file magic: `LPTRACE` plus the major format generation.
+/// Trace file magic of the fixed-record generation.
 pub const MAGIC: [u8; 8] = *b"LPTRACE1";
 
-/// Current format version.
+/// Trace file magic of the compressed-varint generation.
+pub const MAGIC2: [u8; 8] = *b"LPTRACE2";
+
+/// The fixed-record format generation.
 pub const VERSION: u32 = 1;
+
+/// The compressed format generation — what new recordings write by
+/// default (`LP_TRACE_FORMAT=1` opts back into v1).
+pub const VERSION2: u32 = 2;
 
 /// Header size in bytes.
 pub const HEADER_SIZE: usize = 64;
@@ -68,7 +84,7 @@ pub struct TraceHeader {
 }
 
 impl TraceHeader {
-    /// A fresh header for a recording on this host.
+    /// A fresh v1 (fixed-record) header for a recording on this host.
     pub fn new(source_mechanism: &str, tsc_hz: u64) -> TraceHeader {
         TraceHeader {
             version: VERSION,
@@ -80,13 +96,28 @@ impl TraceHeader {
         }
     }
 
+    /// The same header re-stamped at format generation `version`
+    /// ([`VERSION`] or [`VERSION2`]).
+    pub fn with_version(mut self, version: u32) -> TraceHeader {
+        assert!(
+            version == VERSION || version == VERSION2,
+            "unknown trace format generation {version}"
+        );
+        self.version = version;
+        self
+    }
+
     fn encode(&self) -> [u8; HEADER_SIZE] {
         let mut out = [0u8; HEADER_SIZE];
-        out[0..8].copy_from_slice(&MAGIC);
+        let (magic, record_size) = match self.version {
+            VERSION2 => (MAGIC2, 0u32),
+            _ => (MAGIC, RECORD_SIZE as u32),
+        };
+        out[0..8].copy_from_slice(&magic);
         out[8..12].copy_from_slice(&self.version.to_le_bytes());
         out[12..16].copy_from_slice(&self.arch.to_le_bytes());
         out[16..20].copy_from_slice(&self.page_size.to_le_bytes());
-        out[20..24].copy_from_slice(&(RECORD_SIZE as u32).to_le_bytes());
+        out[20..24].copy_from_slice(&record_size.to_le_bytes());
         out[24..32].copy_from_slice(&self.tsc_hz.to_le_bytes());
         out[32..40].copy_from_slice(&self.events_dropped.to_le_bytes());
         let name = self.source_mechanism.as_bytes();
@@ -96,17 +127,21 @@ impl TraceHeader {
     }
 
     fn decode(buf: &[u8; HEADER_SIZE]) -> Result<TraceHeader, TraceError> {
-        if buf[0..8] != MAGIC {
+        let expected_version = if buf[0..8] == MAGIC {
+            VERSION
+        } else if buf[0..8] == MAGIC2 {
+            VERSION2
+        } else {
             return Err(TraceError::BadMagic);
-        }
+        };
         let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
         let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
         let version = u32_at(8);
-        if version != VERSION {
+        if version != expected_version {
             return Err(TraceError::BadVersion(version));
         }
         let record_size = u32_at(20);
-        if record_size as usize != RECORD_SIZE {
+        if version == VERSION && record_size as usize != RECORD_SIZE {
             return Err(TraceError::BadRecordSize(record_size));
         }
         let name_field = &buf[40..40 + MECHANISM_FIELD];
@@ -143,7 +178,10 @@ impl std::fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "trace I/O failed: {e}"),
             TraceError::BadMagic => write!(f, "not a lazypoline trace (bad magic)"),
             TraceError::BadVersion(v) => {
-                write!(f, "unsupported trace version {v} (this build reads {VERSION})")
+                write!(
+                    f,
+                    "unsupported trace version {v} (this build reads {VERSION} and {VERSION2})"
+                )
             }
             TraceError::BadRecordSize(s) => {
                 write!(f, "trace record size {s} != expected {RECORD_SIZE}")
@@ -170,10 +208,17 @@ impl From<TraceError> for io::Error {
     }
 }
 
-/// Streams records into the binary trace format.
+/// Streams records into the binary trace format — fixed 88-byte
+/// records for a v1 header, the compressed [`codec`](crate::codec)
+/// stream for v2.
 pub struct TraceWriter<W: Write + Seek> {
     out: W,
     events: u64,
+    bytes: u64,
+    /// `Some` iff the header was v2.
+    encoder: Option<Lp2Encoder>,
+    /// Encode scratch, reused across appends.
+    scratch: Vec<u8>,
 }
 
 impl<W: Write + Seek> TraceWriter<W> {
@@ -181,19 +226,42 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// and readies the writer for [`append`](TraceWriter::append).
     pub fn new(mut out: W, header: &TraceHeader) -> io::Result<TraceWriter<W>> {
         out.write_all(&header.encode())?;
-        Ok(TraceWriter { out, events: 0 })
+        Ok(TraceWriter {
+            out,
+            events: 0,
+            bytes: HEADER_SIZE as u64,
+            encoder: (header.version == VERSION2).then(Lp2Encoder::new),
+            scratch: Vec::new(),
+        })
     }
 
-    /// Appends one record.
+    /// Appends one record in the header's format generation.
     pub fn append(&mut self, rec: &EventRecord) -> io::Result<()> {
-        self.out.write_all(&rec.encode())?;
+        let n = match &mut self.encoder {
+            Some(enc) => {
+                self.scratch.clear();
+                enc.encode(rec, &mut self.scratch);
+                self.out.write_all(&self.scratch)?;
+                self.scratch.len()
+            }
+            None => {
+                self.out.write_all(&rec.encode())?;
+                RECORD_SIZE
+            }
+        };
         self.events += 1;
+        self.bytes += n as u64;
         Ok(())
     }
 
     /// Records written so far.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Bytes written so far (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Patches the final drop count into the header, flushes, and
@@ -219,12 +287,21 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<(TraceHeader, Vec<EventRecord>), 
     })?;
     let header = TraceHeader::decode(&hdr)?;
     let mut records = Vec::new();
-    let mut buf = [0u8; RECORD_SIZE];
-    loop {
-        match read_full(&mut r, &mut buf)? {
-            0 => break,
-            RECORD_SIZE => records.push(EventRecord::decode(&buf)),
-            _ => return Err(TraceError::Truncated),
+    if header.version == VERSION2 {
+        // v2 records are variable-length: pull the payload in and let
+        // the streaming decoder delimit (clean EOF at a boundary ends
+        // the trace; EOF inside a record is Truncated).
+        let mut payload = Vec::new();
+        r.read_to_end(&mut payload).map_err(TraceError::Io)?;
+        records = Lp2Decoder::new().decode_all(&payload, 0)?;
+    } else {
+        let mut buf = [0u8; RECORD_SIZE];
+        loop {
+            match read_full(&mut r, &mut buf)? {
+                0 => break,
+                RECORD_SIZE => records.push(EventRecord::decode(&buf)),
+                _ => return Err(TraceError::Truncated),
+            }
         }
     }
     Ok((header, records))
@@ -349,6 +426,58 @@ mod tests {
         assert_eq!(h.tsc_hz, 2_100_000_000);
         assert_eq!(recs.len(), 5);
         assert_eq!(recs[3], sample(3));
+    }
+
+    #[test]
+    fn v2_write_read_roundtrip_is_transparent_and_smaller() {
+        let header = TraceHeader::new("sim:lazypoline", 2_100_000_000).with_version(VERSION2);
+        let mut w = TraceWriter::new(Cursor::new(Vec::new()), &header).unwrap();
+        for i in 0..200 {
+            w.append(&sample(i)).unwrap();
+        }
+        let v2_bytes = w.bytes();
+        let (cursor, events) = w.finalize(7).unwrap();
+        assert_eq!(events, 200);
+
+        let (h, recs) = read_trace(Cursor::new(cursor.into_inner())).unwrap();
+        assert_eq!(h.version, VERSION2);
+        assert_eq!(h.events_dropped, 7);
+        assert_eq!(h.source_mechanism, "sim:lazypoline");
+        assert_eq!(recs.len(), 200);
+        assert_eq!(recs[123], sample(123));
+        let v1_bytes = (HEADER_SIZE + 200 * RECORD_SIZE) as u64;
+        assert!(
+            v2_bytes * 3 <= v1_bytes,
+            "v2 at least 3x smaller here: {v2_bytes} vs {v1_bytes}"
+        );
+    }
+
+    #[test]
+    fn v2_truncated_payload_detected() {
+        let header = TraceHeader::new("x", 0).with_version(VERSION2);
+        let mut w = TraceWriter::new(Cursor::new(Vec::new()), &header).unwrap();
+        w.append(&sample(0)).unwrap();
+        w.append(&sample(1)).unwrap();
+        let (cursor, _) = w.finalize(0).unwrap();
+        let mut bytes = cursor.into_inner();
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            read_trace(Cursor::new(bytes)),
+            Err(TraceError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn v2_magic_with_wrong_version_field_rejected() {
+        let mut bytes = TraceHeader::new("x", 0)
+            .with_version(VERSION2)
+            .encode()
+            .to_vec();
+        bytes[8] = 1; // claims v1 under the v2 magic
+        assert!(matches!(
+            read_trace(Cursor::new(bytes)),
+            Err(TraceError::BadVersion(1))
+        ));
     }
 
     #[test]

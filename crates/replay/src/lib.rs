@@ -8,11 +8,16 @@
 //!    [`SyscallHandler`](interpose::SyscallHandler) that mirrors every
 //!    intercepted syscall into lock-free per-thread SPSC rings
 //!    (drop-and-count on overflow; never perturbs the application).
-//! 2. **Trace format** ([`format`]): a [`Recorder`] session drains the
-//!    rings into a compact versioned binary trace — 64-byte header
-//!    (arch, page size, TSC calibration, drop count, source mechanism)
-//!    plus fixed 88-byte records — with an strace-like
-//!    [`dump_trace`] rendering built on the shared
+//! 2. **Trace format** ([`format`], [`codec`], [`spill`]): a
+//!    [`Recorder`] session spills the rings into a versioned binary
+//!    trace — by default a dedicated drain thread continuously sweeps
+//!    the rings into an mmap-backed chunked file in the compressed
+//!    `LPTRACE2` encoding (delta tsc, varint args, dictionary
+//!    sysno/site), so producers keep up at full event rate with zero
+//!    drops; `LPTRACE1`'s fixed 88-byte records remain writable
+//!    (`LP_TRACE_FORMAT=1`) and both generations read back
+//!    transparently, with an strace-like [`dump_trace`] rendering
+//!    built on the shared
 //!    [`format_syscall_line`](interpose::format_syscall_line).
 //! 3. **Deterministic replay** ([`ReplayHandler`]): re-runs a workload
 //!    against its trace, re-injecting recorded results for
@@ -26,20 +31,25 @@
 
 #![deny(missing_docs)]
 
+pub mod codec;
+mod drain;
 mod event;
 pub mod format;
 mod record;
 mod replay;
 pub mod ring;
+pub mod spill;
 
 pub use event::{EventRecord, RECORD_SIZE};
 pub use format::{
     dump_trace, read_trace, read_trace_path, render_record, TraceError, TraceHeader, TraceWriter,
-    HEADER_SIZE, MAGIC, VERSION,
+    HEADER_SIZE, MAGIC, MAGIC2, VERSION, VERSION2,
 };
 pub use record::{
-    events_dropped, events_recorded, RecordHandler, RecordSummary, Recorder,
+    events_dropped, events_recorded, events_spilled, RecordHandler, RecordSummary, Recorder,
+    DRAIN_ENV, TRACE_FORMAT_ENV,
 };
+pub use ring::RingConfigError;
 pub use replay::{
     is_nondeterministic, replay_divergences, Divergence, DivergenceKind, ReplayHandler,
     ReplayState, NONDETERMINISTIC,

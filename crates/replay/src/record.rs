@@ -4,15 +4,27 @@
 
 use std::cell::Cell;
 use std::fs::File;
-use std::io::{self, BufWriter};
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use interpose::{Action, InterestSet, SyscallEvent, SyscallHandler};
 
+use crate::drain;
 use crate::event::EventRecord;
-use crate::format::{TraceHeader, TraceWriter};
+use crate::format::{TraceHeader, TraceWriter, VERSION, VERSION2};
 use crate::ring;
+use crate::spill::MmapSink;
+
+/// Environment variable selecting the trace format generation: `1`
+/// forces LPTRACE1 (fixed 88-byte records); unset or `2` writes the
+/// compressed LPTRACE2 default.
+pub const TRACE_FORMAT_ENV: &str = "LP_TRACE_FORMAT";
+
+/// Environment variable selecting the drain mode: unset or `async`
+/// runs the dedicated drain thread (zero drops at steady state);
+/// `sync` restores the drain-at-phase-boundaries behavior.
+pub const DRAIN_ENV: &str = "LP_DRAIN";
 
 /// Events successfully recorded into a ring (process lifetime).
 static EVENTS_RECORDED: AtomicU64 = AtomicU64::new(0);
@@ -27,6 +39,12 @@ pub fn events_recorded() -> u64 {
 /// equals the number of syscalls the recorder observed.
 pub fn events_dropped() -> u64 {
     ring::total_dropped()
+}
+
+/// Records spilled from the rings into a trace since process start
+/// (async drain sweeps and synchronous [`Recorder::drain`] calls).
+pub fn events_spilled() -> u64 {
+    drain::EVENTS_SPILLED.load(Ordering::Relaxed)
 }
 
 thread_local! {
@@ -152,100 +170,243 @@ pub struct RecordSummary {
     pub events: u64,
     /// Events dropped by the overflow policy during the session.
     pub dropped: u64,
+    /// Trace file size in bytes (header included).
+    pub bytes: u64,
+    /// Format generation written (1 = LPTRACE1, 2 = LPTRACE2).
+    pub format_version: u32,
 }
 
-/// A recording session: owns the trace file, drains the flight-recorder
-/// rings into it, and patches the final drop count on
+impl RecordSummary {
+    /// Fraction of observed events the session dropped (0.0 = lossless).
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.events + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+
+    /// A ring capacity that would likely have made this session
+    /// lossless (`None` when it already was): the current capacity
+    /// scaled by the observed overflow, rounded up to a power of two.
+    pub fn suggested_ring_capacity(&self) -> Option<usize> {
+        if self.dropped == 0 {
+            return None;
+        }
+        let factor = (self.events + self.dropped)
+            .div_ceil(self.events.max(1))
+            .max(2) as usize;
+        Some(
+            ring::configured_capacity()
+                .saturating_mul(factor)
+                .next_power_of_two()
+                .min(ring::MAX_RING_CAPACITY),
+        )
+    }
+}
+
+/// The sink a recording spills into: a buffered file for synchronous
+/// phase-boundary drains, a chunked shared mapping under the async
+/// drain thread (a batch append is a memcpy into the page cache).
+enum TraceOut {
+    Buffered(BufWriter<File>),
+    Mmap(MmapSink),
+}
+
+impl Write for TraceOut {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            TraceOut::Buffered(w) => w.write(buf),
+            TraceOut::Mmap(w) => w.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            TraceOut::Buffered(w) => w.flush(),
+            TraceOut::Mmap(w) => w.flush(),
+        }
+    }
+}
+
+impl Seek for TraceOut {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        match self {
+            TraceOut::Buffered(w) => w.seek(pos),
+            TraceOut::Mmap(w) => w.seek(pos),
+        }
+    }
+}
+
+/// How the session moves records from the rings to the writer.
+enum Mode {
+    /// The caller drains at phase boundaries ([`Recorder::drain`]).
+    Sync {
+        /// `None` once finished (consumed by `finish` or drop).
+        writer: Option<TraceWriter<TraceOut>>,
+        /// Drain buffer, reused so only the first drain grows it.
+        pending: Vec<EventRecord>,
+    },
+    /// The dedicated drain thread sweeps continuously.
+    Async {
+        /// `None` once finished.
+        handle: Option<drain::DrainHandle<TraceOut>>,
+    },
+}
+
+/// A recording session: owns the trace file, spills the
+/// flight-recorder rings into it, and patches the final drop count on
 /// [`finish`](Recorder::finish).
 ///
-/// Create it *before* installing the [`RecordHandler`] (it clears any
-/// stale ring contents), call [`drain`](Recorder::drain) as often as
-/// desired (e.g. after each workload phase), and `finish` after the
-/// handler is uninstalled.
+/// By default the session runs a dedicated drain thread that sweeps
+/// the rings continuously into an mmap-backed LPTRACE2 trace — at
+/// steady state producers never meet a full ring, so
+/// `events_dropped == 0`. `LP_DRAIN=sync` restores synchronous
+/// phase-boundary draining and `LP_TRACE_FORMAT=1` the fixed-record
+/// LPTRACE1 format. `LP_RING_CAPACITY` / `LP_MAX_RINGS` are validated
+/// and applied here (a malformed value fails the install, never
+/// silently falls back).
+///
+/// Create it *before* installing the [`RecordHandler`] — it clears
+/// stale ring contents, and the drain thread must be spawned before
+/// the mechanism installs so it is never enrolled in syscall
+/// interposition (its own spill syscalls stay out of the trace).
+/// `finish` after the handler is uninstalled.
 pub struct Recorder {
-    /// `None` once finished (consumed by `finish` or best-effort drop).
-    writer: Option<TraceWriter<BufWriter<File>>>,
+    mode: Mode,
     path: PathBuf,
     dropped_at_start: u64,
-    /// Drain buffer, reused across drains so only the first grows.
-    pending: Vec<EventRecord>,
+    format_version: u32,
 }
 
 impl Recorder {
-    /// Opens `path` for writing and stamps the trace header.
+    /// Opens `path` for writing, stamps the trace header, and (in the
+    /// default async mode) starts the drain thread.
     ///
     /// `source_mechanism` is the registry name of the mechanism the
     /// recording will run under — replay reads it back to choose its
     /// own base mechanism.
     pub fn to_path(path: &Path, source_mechanism: &str) -> io::Result<Recorder> {
+        // Validate configuration before touching any state: a typo'd
+        // LP_RING_CAPACITY must fail the install, not half-start it.
+        ring::configure_from_env()?;
+        let format_version = match std::env::var(TRACE_FORMAT_ENV) {
+            Ok(s) if s == "1" => VERSION,
+            Ok(s) if s == "2" || s.is_empty() => VERSION2,
+            Err(_) => VERSION2,
+            Ok(s) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{TRACE_FORMAT_ENV}={s:?}: expected 1 or 2"),
+                ))
+            }
+        };
+        let async_drain = match std::env::var(DRAIN_ENV) {
+            Ok(s) if s == "sync" => false,
+            Ok(s) if s == "async" || s.is_empty() => true,
+            Err(_) => true,
+            Ok(s) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{DRAIN_ENV}={s:?}: expected async or sync"),
+                ))
+            }
+        };
+
         if SESSION_ACTIVE.swap(true, Ordering::AcqRel) {
             return Err(io::Error::other("another recording session is active"));
         }
+        let release_on = |e: io::Error| {
+            SESSION_ACTIVE.store(false, Ordering::Release);
+            e
+        };
         // Discard events from before this session so the trace starts
         // clean; drops up to now are not this session's drops.
         ring::drain_all(|_| {});
         let dropped_at_start = ring::total_dropped();
 
-        let header = TraceHeader::new(source_mechanism, calibrate_tsc_hz());
-        let file = match File::create(path) {
-            Ok(f) => f,
-            Err(e) => {
-                SESSION_ACTIVE.store(false, Ordering::Release);
-                return Err(e);
-            }
+        let header =
+            TraceHeader::new(source_mechanism, calibrate_tsc_hz()).with_version(format_version);
+        let sink = if async_drain {
+            TraceOut::Mmap(MmapSink::create(path).map_err(release_on)?)
+        } else {
+            TraceOut::Buffered(BufWriter::new(File::create(path).map_err(release_on)?))
         };
-        let writer = match TraceWriter::new(BufWriter::new(file), &header) {
-            Ok(w) => w,
-            Err(e) => {
-                SESSION_ACTIVE.store(false, Ordering::Release);
-                return Err(e);
+        let writer = TraceWriter::new(sink, &header).map_err(release_on)?;
+        let mode = if async_drain {
+            Mode::Async {
+                handle: Some(drain::spawn(writer).map_err(release_on)?),
+            }
+        } else {
+            Mode::Sync {
+                writer: Some(writer),
+                pending: Vec::new(),
             }
         };
         Ok(Recorder {
-            writer: Some(writer),
+            mode,
             path: path.to_path_buf(),
             dropped_at_start,
-            pending: Vec::new(),
+            format_version,
         })
     }
 
-    /// Drains every ring into the trace, ordering records by timestamp
-    /// (per-ring order is FIFO; the tsc merges across threads). Returns
-    /// how many records were appended.
+    /// Synchronous mode: drains every ring into the trace, ordering
+    /// records by timestamp (per-ring order is FIFO; the tsc merges
+    /// across threads), returning how many records were appended.
+    /// Async mode: a no-op — the drain thread is already sweeping.
     pub fn drain(&mut self) -> io::Result<usize> {
-        let Some(writer) = self.writer.as_mut() else {
-            return Ok(0);
-        };
-        self.pending.clear();
-        let pending = &mut self.pending;
-        ring::drain_all(|rec| pending.push(rec));
-        self.pending.sort_by_key(|r| r.tsc);
-        for rec in &self.pending {
-            writer.append(rec)?;
+        match &mut self.mode {
+            Mode::Sync {
+                writer: Some(writer),
+                pending,
+            } => drain::sweep(writer, pending),
+            _ => Ok(0),
         }
-        Ok(self.pending.len())
     }
 
-    /// Final drain, patches the session's drop count into the header,
-    /// and closes the trace.
+    /// Final drain (async mode: stops and joins the drain thread),
+    /// patches the session's drop count into the header, and closes
+    /// the trace.
     pub fn finish(mut self) -> io::Result<RecordSummary> {
         self.finish_inner()
             .expect("finish on a live recorder always has a writer")
     }
 
     fn finish_inner(&mut self) -> Option<io::Result<RecordSummary>> {
-        self.writer.as_ref()?;
-        if let Err(e) = self.drain() {
-            self.writer = None;
-            SESSION_ACTIVE.store(false, Ordering::Release);
-            return Some(Err(e));
-        }
-        let writer = self.writer.take()?;
+        let writer = match &mut self.mode {
+            Mode::Sync { writer, pending } => {
+                writer.as_ref()?;
+                let sweep = drain::sweep(writer.as_mut().unwrap(), pending);
+                let writer = writer.take()?;
+                match sweep {
+                    Ok(_) => writer,
+                    Err(e) => {
+                        SESSION_ACTIVE.store(false, Ordering::Release);
+                        return Some(Err(e));
+                    }
+                }
+            }
+            Mode::Async { handle } => {
+                let handle = handle.take()?;
+                match handle.stop() {
+                    Ok(w) => w,
+                    Err(e) => {
+                        SESSION_ACTIVE.store(false, Ordering::Release);
+                        return Some(Err(e));
+                    }
+                }
+            }
+        };
         let dropped = ring::total_dropped() - self.dropped_at_start;
+        let bytes = writer.bytes();
         let result = writer.finalize(dropped).map(|(_, events)| RecordSummary {
             path: self.path.clone(),
             events,
             dropped,
+            bytes,
+            format_version: self.format_version,
         });
         SESSION_ACTIVE.store(false, Ordering::Release);
         Some(result)

@@ -1,9 +1,15 @@
 //! Property tests for the flight-recorder ring: round-trip fidelity,
 //! ordering, and drop-counter accuracy under arbitrary workloads.
 
-use lp_replay::ring::{SpscRing, RING_CAPACITY};
+use lp_replay::ring::{SpscRing, DEFAULT_RING_CAPACITY};
 use lp_replay::EventRecord;
 use proptest::prelude::*;
+
+/// A ring at the default geometry with storage mapped eagerly, so the
+/// properties are independent of any ambient `LP_RING_CAPACITY`.
+fn default_ring() -> SpscRing {
+    SpscRing::with_capacity(DEFAULT_RING_CAPACITY)
+}
 
 fn rec(seq: u64) -> EventRecord {
     EventRecord {
@@ -20,8 +26,8 @@ proptest! {
     /// Write N (≤ capacity), drain N: every record comes back intact,
     /// in order, with zero drops.
     #[test]
-    fn roundtrip_preserves_records_and_order(n in 0usize..=RING_CAPACITY) {
-        let ring = SpscRing::new();
+    fn roundtrip_preserves_records_and_order(n in 0usize..=DEFAULT_RING_CAPACITY) {
+        let ring = default_ring();
         for i in 0..n {
             prop_assert!(ring.push(rec(i as u64)));
         }
@@ -39,15 +45,15 @@ proptest! {
     /// events, and counts every drop.
     #[test]
     fn overflow_drop_counter_is_exact(extra in 1u64..3000) {
-        let ring = SpscRing::new();
-        let total = RING_CAPACITY as u64 + extra;
+        let ring = default_ring();
+        let total = DEFAULT_RING_CAPACITY as u64 + extra;
         let mut accepted = 0u64;
         for i in 0..total {
             if ring.push(rec(i)) {
                 accepted += 1;
             }
         }
-        prop_assert_eq!(accepted, RING_CAPACITY as u64);
+        prop_assert_eq!(accepted, DEFAULT_RING_CAPACITY as u64);
         prop_assert_eq!(ring.dropped(), extra);
         prop_assert_eq!(accepted + ring.dropped(), total, "every event accounted for");
         // Drop-newest policy: the survivors are the first CAPACITY events.
@@ -62,7 +68,7 @@ proptest! {
     /// duplicate, or reorder an accepted record.
     #[test]
     fn interleaved_bursts_conserve_events(bursts in proptest::collection::vec(1usize..2048, 1..12)) {
-        let ring = SpscRing::new();
+        let ring = default_ring();
         let mut next_push = 0u64;
         let mut next_drain = 0u64;
         for burst in bursts {

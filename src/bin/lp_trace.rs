@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lp-trace record <trace> [mechanism]   (default mechanism: sim:lazypoline)\n\
+        "usage: lp-trace record [--strict-drops] <trace> [mechanism]   (default mechanism: sim:lazypoline)\n\
          \x20      lp-trace replay <trace>\n\
          \x20      lp-trace dump   <trace>"
     );
@@ -28,10 +28,12 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let strict_drops = args.iter().any(|a| a == "--strict-drops");
+    args.retain(|a| a != "--strict-drops");
     match args.as_slice() {
-        [cmd, trace] if cmd == "record" => record(Path::new(trace), "sim:lazypoline"),
-        [cmd, trace, mech] if cmd == "record" => record(Path::new(trace), mech),
+        [cmd, trace] if cmd == "record" => record(Path::new(trace), "sim:lazypoline", strict_drops),
+        [cmd, trace, mech] if cmd == "record" => record(Path::new(trace), mech, strict_drops),
         [cmd, trace] if cmd == "replay" => replay(trace),
         [cmd, trace] if cmd == "dump" => dump(Path::new(trace)),
         _ => usage(),
@@ -47,7 +49,7 @@ fn native_workload() {
     eprintln!("workload: pid {pid}, Cargo.toml {bytes} bytes, {entries} dir entries");
 }
 
-fn record(trace: &Path, mech: &str) -> ExitCode {
+fn record(trace: &Path, mech: &str, strict_drops: bool) -> ExitCode {
     let name = format!("{mech}+record");
     let Some(backend) = mechanism::by_name(&name) else {
         eprintln!("error: {mech:?} is not a registered mechanism");
@@ -87,13 +89,37 @@ fn record(trace: &Path, mech: &str) -> ExitCode {
 
     match active.finish_recording() {
         Some(Ok(summary)) => {
+            let per_event = if summary.events == 0 {
+                0.0
+            } else {
+                summary.bytes as f64 / summary.events as f64
+            };
             println!(
-                "recorded {} events ({} dropped) under {} -> {}",
+                "recorded {} events ({} dropped, {} bytes, {:.1} B/event, LPTRACE{}) under {} -> {}",
                 summary.events,
                 summary.dropped,
+                summary.bytes,
+                per_event,
+                summary.format_version,
                 mech,
                 summary.path.display()
             );
+            if summary.dropped > 0 {
+                let suggestion = summary
+                    .suggested_ring_capacity()
+                    .map(|c| format!("; try LP_RING_CAPACITY={c}"))
+                    .unwrap_or_default();
+                eprintln!(
+                    "warning: dropped {} of {} events ({:.2}% drop rate){suggestion}",
+                    summary.dropped,
+                    summary.events + summary.dropped,
+                    summary.drop_rate() * 100.0,
+                );
+                if strict_drops {
+                    eprintln!("error: --strict-drops: trace is incomplete");
+                    return ExitCode::FAILURE;
+                }
+            }
             ExitCode::SUCCESS
         }
         Some(Err(e)) => {

@@ -23,7 +23,9 @@ fn temp_trace(tag: &str) -> PathBuf {
 }
 
 /// Records the fixed JIT workload under `sim:lazypoline+record` and
-/// returns the trace path (caller removes it).
+/// returns the trace path (caller removes it). Traces default to
+/// LPTRACE2 since PR 6; tests that poke fixed byte offsets pin the
+/// legacy format with [`record_jit_trace_v1`].
 fn record_jit_trace(tag: &str) -> PathBuf {
     let trace = temp_trace(tag);
     std::env::set_var("LP_TRACE_OUT", &trace);
@@ -46,6 +48,15 @@ fn record_jit_trace(tag: &str) -> PathBuf {
         "every observed syscall lands in the trace"
     );
     assert_eq!(summary.dropped, 0);
+    trace
+}
+
+/// [`record_jit_trace`] with the trace pinned to the fixed-record
+/// LPTRACE1 layout, for tests that mutate known byte offsets.
+fn record_jit_trace_v1(tag: &str) -> PathBuf {
+    std::env::set_var(replay::TRACE_FORMAT_ENV, "1");
+    let trace = record_jit_trace(tag);
+    std::env::remove_var(replay::TRACE_FORMAT_ENV);
     trace
 }
 
@@ -84,7 +95,7 @@ fn sim_record_then_replay_with_zero_divergences() {
 #[test]
 fn mutated_trace_reports_structured_divergence_not_panic() {
     let _g = record_lock();
-    let trace = record_jit_trace("mutated");
+    let trace = record_jit_trace_v1("mutated");
 
     // Flip the second record's syscall number to `write` (1).
     let mut bytes = std::fs::read(&trace).unwrap();
@@ -137,7 +148,7 @@ fn corrupt_header_is_a_structured_install_error() {
 #[test]
 fn truncated_trace_is_a_structured_install_error() {
     let _g = record_lock();
-    let trace = record_jit_trace("truncated");
+    let trace = record_jit_trace_v1("truncated");
     let bytes = std::fs::read(&trace).unwrap();
     std::fs::write(&trace, &bytes[..bytes.len() - (RECORD_SIZE / 2)]).unwrap();
 
@@ -200,6 +211,128 @@ fn multi_thread_recording_accounts_for_every_event() {
 
     // Leave the rings empty for whichever test records next.
     replay::ring::drain_all(|_| {});
+}
+
+#[test]
+fn drainer_sustains_multi_producer_load_with_zero_drops() {
+    use interpose::{SyscallEvent, SyscallHandler};
+    use syscalls::SyscallArgs;
+
+    let _g = record_lock();
+    const THREADS: usize = 6;
+    const PER_THREAD: u64 = 20_000;
+    const PRODUCED: u64 = THREADS as u64 * PER_THREAD;
+
+    // Rings sized to hold a full per-thread burst: zero drops is then a
+    // guarantee, not a race against drainer latency — the drain thread
+    // still has to spill every event for the summary to balance.
+    let trace = temp_trace("soak");
+    std::env::set_var("LP_TRACE_OUT", &trace);
+    std::env::set_var(replay::ring::LP_RING_CAPACITY, "32768");
+    let backend = mechanism::by_name("sim:lazypoline+record").unwrap();
+    let mut active = backend
+        .install(Box::new(interpose::PassthroughHandler))
+        .expect("session opens with a live drain thread");
+    std::env::remove_var("LP_TRACE_OUT");
+    std::env::remove_var(replay::ring::LP_RING_CAPACITY);
+
+    let before_recorded = replay::events_recorded();
+    let before_dropped = replay::events_dropped();
+    let handler = std::sync::Arc::new(replay::RecordHandler::passthrough());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let handler = std::sync::Arc::clone(&handler);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let ev =
+                        SyscallEvent::new(SyscallArgs::new(syscalls::nr::GETPID, [t as u64; 6]));
+                    handler.post(&ev, i);
+                }
+            });
+        }
+    });
+
+    let recorded = replay::events_recorded() - before_recorded;
+    let dropped = replay::events_dropped() - before_dropped;
+    assert_eq!(recorded + dropped, PRODUCED, "every event accounted for");
+    assert_eq!(dropped, 0, "live drainer + adequate rings: nothing drops");
+
+    let summary = active
+        .finish_recording()
+        .expect("a trace session is active")
+        .expect("trace finishes");
+    assert_eq!(summary.dropped, 0);
+    assert_eq!(summary.events, PRODUCED, "every produced event is spilled");
+    assert_eq!(summary.format_version, replay::VERSION2);
+    assert!(
+        summary.bytes * 2 < PRODUCED * replay::RECORD_SIZE as u64,
+        "LPTRACE2 beats the fixed layout: {} bytes for {PRODUCED} events",
+        summary.bytes
+    );
+
+    // The trace itself holds every event, decodable transparently.
+    let (header, records) = replay::read_trace_path(&trace).unwrap();
+    assert_eq!(header.version, replay::VERSION2);
+    assert_eq!(records.len() as u64, PRODUCED);
+
+    // Restore the default geometry for whichever test records next.
+    replay::ring::configure(
+        replay::ring::DEFAULT_RING_CAPACITY,
+        replay::ring::DEFAULT_MAX_RINGS,
+    )
+    .unwrap();
+    drop(active);
+    std::fs::remove_file(&trace).unwrap();
+}
+
+#[test]
+fn malformed_ring_capacity_env_is_a_typed_install_error() {
+    let _g = record_lock();
+    let trace = temp_trace("badcap");
+    std::env::set_var("LP_TRACE_OUT", &trace);
+    std::env::set_var(replay::ring::LP_RING_CAPACITY, "1000"); // not 2^n
+    let err = mechanism::by_name("sim:lazypoline+record")
+        .unwrap()
+        .install(Box::new(interpose::PassthroughHandler))
+        .err()
+        .expect("a malformed ring capacity must fail install, not fall back");
+    std::env::remove_var(replay::ring::LP_RING_CAPACITY);
+    std::env::remove_var("LP_TRACE_OUT");
+    match err {
+        mechanism::InstallError::Io(e) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput);
+            assert!(e.to_string().contains("power of two"), "{e}");
+            assert!(e.to_string().contains("LP_RING_CAPACITY"), "{e}");
+        }
+        other => panic!("expected Io(InvalidInput), got {other}"),
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+/// The committed LPTRACE1 fixture (recorded before the LPTRACE2
+/// migration) must keep decoding and replaying unchanged — backward
+/// compatibility for existing traces is part of the format contract.
+#[test]
+fn committed_lptrace1_fixture_decodes_and_replays() {
+    let fixture =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/jit_v1.lpt");
+    let (header, records) = replay::read_trace_path(&fixture).expect("fixture decodes");
+    assert_eq!(header.version, replay::VERSION);
+    assert_eq!(header.source_mechanism, "sim:lazypoline");
+    assert!(!records.is_empty());
+
+    let name = format!("replay:{}", fixture.display());
+    let mut active = mechanism::by_name(&name)
+        .unwrap()
+        .install(Box::new(interpose::PassthroughHandler))
+        .expect("v1 fixture loads");
+    let out = active
+        .run_program(&sim_workloads::jit::build())
+        .expect("replay base is simulated");
+    assert_eq!(out.exit, 0);
+    let state = active.replay_state().expect("replay backend").clone();
+    assert_eq!(state.position(), state.len(), "whole fixture consumed");
+    assert_eq!(state.divergences(), 0);
 }
 
 #[test]
