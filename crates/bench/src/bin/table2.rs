@@ -57,11 +57,19 @@ fn with_stats(row: Json, stats: Option<&mechanism::StatsSnapshot>) -> Json {
             .field("events_spilled", Json::Int(s.events_spilled))
             .field("ring_grows", Json::Int(s.ring_grows))
             .field("ring_near_full", Json::Int(s.ring_near_full))
-            .field("replay_divergences", Json::Int(s.replay_divergences)),
+            .field("drain_yields", Json::Int(s.drain_yields))
+            .field("replay_divergences", Json::Int(s.replay_divergences))
+            .field("bypass_blocked", Json::Int(s.bypass_blocked))
+            .field("pkru_switches", Json::Int(s.pkru_switches)),
     )
 }
 
 fn main() {
+    // Child-process mode: measure only the hardened row and exit (the
+    // seccomp backstop is one-way per process — see `micro::HardenedRow`).
+    if std::env::args().any(|a| a == "--hardened-row") {
+        micro::hardened_child_main();
+    }
     let json_mode = std::env::args().any(|a| a == "--json");
     let native = micro::environment_supported();
 
@@ -74,6 +82,10 @@ fn main() {
         );
         None
     };
+
+    // The hardened row runs in a re-exec'd child so its one-way seccomp
+    // filter cannot leak into this process's remaining measurements.
+    let hardened = results.as_ref().and_then(|_| micro::run_hardened_row());
 
     if let Some(results) = &results {
         println!(
@@ -98,7 +110,24 @@ fn main() {
             ]);
             max_sd = max_sd.max(sd);
         }
+        if let Some(h) = &hardened {
+            let ratio = h.measurement.cycles() / results.baseline.cycles();
+            table.row([
+                h.measurement.name.to_string(),
+                format!("{ratio:.2}x"),
+                String::new(),
+                format!("{:.0}", h.measurement.cycles()),
+                format!("{:.2}", h.measurement.stddev_pct()),
+            ]);
+            max_sd = max_sd.max(h.measurement.stddev_pct());
+        }
         print!("{}", table.render());
+        if let Some(h) = &hardened {
+            println!(
+                "hardened row: level {}, {} pkru switch(es), {} bypass(es) blocked (child process)",
+                h.harden_level, h.stats.pkru_switches, h.stats.bypass_blocked
+            );
+        }
         println!(
             "\nbaseline: {:.0} cycles/call; max relative stddev {:.2}%",
             results.baseline.cycles(),
@@ -180,6 +209,20 @@ fn main() {
                         .field("vs_baseline", Json::Num(ratio))
                         .field("stddev_pct", Json::Num(sd)),
                     results.snapshot_for(name),
+                ));
+            }
+            if let Some(h) = &hardened {
+                rows.push(with_stats(
+                    Json::obj()
+                        .field("name", Json::Str("lazypoline-hardened".into()))
+                        .field("cycles_per_call", Json::Num(h.measurement.cycles()))
+                        .field(
+                            "vs_baseline",
+                            Json::Num(h.measurement.cycles() / results.baseline.cycles()),
+                        )
+                        .field("stddev_pct", Json::Num(h.measurement.stddev_pct()))
+                        .field("harden_level", Json::Str(h.harden_level.clone())),
+                    Some(&h.stats),
                 ));
             }
             root = root

@@ -412,6 +412,122 @@ pub fn run_table2() -> MicroResults {
     }
 }
 
+/// The `lazypoline-hardened` Table II row, measured in a **child**
+/// process: the seccomp backstop is one-way per process, so installing
+/// it in the benchmark process would leave every later row (and the
+/// dispatch/batch ablations) running under the kill filter.
+#[derive(Clone, Debug)]
+pub struct HardenedRow {
+    /// Steady-state fast-path timing under the hardened configuration.
+    pub measurement: Measurement,
+    /// Counter deltas for the measured window (only the fields the
+    /// wire format carries; the rest stay 0).
+    pub stats: mechanism::StatsSnapshot,
+    /// The degradation-ladder rung the child reached (`Full` with MPK
+    /// hardware, `BackstopOnly` without, etc.).
+    pub harden_level: String,
+}
+
+/// Child-process entry for the hardened row: installs the
+/// `lazypoline-hardened` backend, measures [`loop_fast`] in steady
+/// state, and prints the wire format ([`parse_hardened_output`]) to
+/// stdout. The parent re-execs this binary with `--hardened-row`.
+pub fn hardened_child_main() -> ! {
+    if !environment_supported() || mechanism::by_name("lazypoline-hardened").is_none() {
+        std::process::exit(2);
+    }
+    let iters = env_u64("LP_BENCH_ITERS", 200_000).max(1);
+    let runs = env_u64("LP_BENCH_RUNS", 10).max(1);
+    let row = RowSpec {
+        backend: "lazypoline-hardened",
+        label: "lazypoline (hardened)",
+        body: loop_fast,
+        prime: true,
+        detach: false,
+        capped: false,
+        record: false,
+    };
+    let (m, stats, _) = measure_row(&row, iters, runs);
+    let mut out = String::from("cycles");
+    for c in &m.cycles_per_call {
+        out.push_str(&format!(" {c}"));
+    }
+    out.push_str(&format!(
+        "\nstats {} {} {} {} {} {}\nharden {:?}\n",
+        stats.dispatches,
+        stats.slow_path_hits,
+        stats.sites_patched,
+        stats.bypass_blocked,
+        stats.pkru_switches,
+        stats.drain_yields,
+        lazypoline::health().harden,
+    ));
+    print!("{out}");
+    std::process::exit(0);
+}
+
+/// Runs the hardened row by re-execing the current binary with
+/// `--hardened-row` and parsing its stdout. `None` when the child
+/// can't run the row (exit 2) or dies under its own backstop — the
+/// table simply omits the row, like any other unsupported
+/// configuration.
+pub fn run_hardened_row() -> Option<HardenedRow> {
+    let exe = std::env::current_exe().ok()?;
+    let out = std::process::Command::new(exe)
+        .arg("--hardened-row")
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        eprintln!(
+            "skip: hardened-row child exited with {} — {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr).trim()
+        );
+        return None;
+    }
+    parse_hardened_output(&String::from_utf8_lossy(&out.stdout))
+}
+
+/// Parses the child's line-oriented wire format: `cycles <f64>...`,
+/// `stats <dispatches> <slow_path_hits> <sites_patched>
+/// <bypass_blocked> <pkru_switches> <drain_yields>`, `harden <rung>`.
+fn parse_hardened_output(text: &str) -> Option<HardenedRow> {
+    let mut cycles = Vec::new();
+    let mut stats = mechanism::StatsSnapshot {
+        mechanism: "lazypoline-hardened",
+        ..Default::default()
+    };
+    let mut harden_level = String::new();
+    for line in text.lines() {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("cycles") => cycles = it.filter_map(|t| t.parse().ok()).collect(),
+            Some("stats") => {
+                let mut n = || it.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+                stats.dispatches = n();
+                stats.slow_path_hits = n();
+                stats.sites_patched = n();
+                stats.bypass_blocked = n();
+                stats.pkru_switches = n();
+                stats.drain_yields = n();
+            }
+            Some("harden") => harden_level = it.collect::<Vec<_>>().join(" "),
+            _ => {}
+        }
+    }
+    if cycles.is_empty() {
+        return None;
+    }
+    Some(HardenedRow {
+        measurement: Measurement {
+            name: "lazypoline (hardened)",
+            cycles_per_call: cycles,
+        },
+        stats,
+        harden_level,
+    })
+}
+
 /// Dispatch-cost comparison isolating the syscall-interest filter
 /// (see [`run_dispatch_cost`]).
 #[derive(Clone, Debug)]

@@ -4,7 +4,9 @@
 //! testable if its real failure points can be made to fail on demand.
 //! This crate provides **named injection sites** threaded through those
 //! points (trampoline install, patcher `mprotect` windows, SUD
-//! enrollment, selector writes, slow-path emulation) with
+//! enrollment, selector writes, slow-path emulation, and the hardened
+//! mode's `pkey_alloc` / seccomp-backstop install / `WRPKRU` switches)
+//! with
 //! **deterministic schedules** (fail the Nth hit, every Nth hit, or the
 //! first K hits), armable programmatically ([`arm`]) or via the
 //! `LAZYPOLINE_FAULTS` environment variable ([`arm_from_env`]) so the
@@ -68,10 +70,25 @@ pub enum Site {
     /// errno to the application (modelling `EINTR`/`EAGAIN`/`ENOMEM`
     /// from a congested kernel).
     SlowpathEmulate,
+    /// `pkey_alloc(2)` for the hardened selector slab
+    /// (`sud::pkey::ProtectedSlab::new`). An injected hit models a host
+    /// with exhausted protection keys (or no MPK hardware at all), which
+    /// the hardened installer must survive by degrading to the seccomp
+    /// backstop alone.
+    PkeyAlloc,
+    /// `seccomp(SECCOMP_SET_MODE_FILTER, …)` installation of the
+    /// hardened backstop filter (`lazypoline::harden`). An injected hit
+    /// degrades hardened mode one more rung, down to plain lazypoline.
+    SeccompInstall,
+    /// A `WRPKRU` permission switch at the interposer boundary. An
+    /// injected hit models one dropped PKRU update, which the
+    /// write-verify loop around the switch detects and repairs —
+    /// mirroring the `selector_write` seam one privilege level up.
+    PkruSwitch,
 }
 
 /// Number of distinct injection sites.
-pub const NUM_SITES: usize = 5;
+pub const NUM_SITES: usize = 8;
 
 /// Every site, in declaration order (index = internal slot).
 pub const ALL_SITES: [Site; NUM_SITES] = [
@@ -80,6 +97,9 @@ pub const ALL_SITES: [Site; NUM_SITES] = [
     Site::SudEnroll,
     Site::SelectorWrite,
     Site::SlowpathEmulate,
+    Site::PkeyAlloc,
+    Site::SeccompInstall,
+    Site::PkruSwitch,
 ];
 
 impl Site {
@@ -90,6 +110,9 @@ impl Site {
             Site::SudEnroll => 2,
             Site::SelectorWrite => 3,
             Site::SlowpathEmulate => 4,
+            Site::PkeyAlloc => 5,
+            Site::SeccompInstall => 6,
+            Site::PkruSwitch => 7,
         }
     }
 
@@ -101,6 +124,9 @@ impl Site {
             Site::SudEnroll => "sud_enroll",
             Site::SelectorWrite => "selector_write",
             Site::SlowpathEmulate => "slowpath_emulate",
+            Site::PkeyAlloc => "pkey_alloc",
+            Site::SeccompInstall => "seccomp_install",
+            Site::PkruSwitch => "pkru_switch",
         }
     }
 
@@ -118,6 +144,9 @@ impl Site {
             Site::SudEnroll => ENOSYS,        // kernel < 5.11
             Site::SelectorWrite => EAGAIN,
             Site::SlowpathEmulate => EINTR,
+            Site::PkeyAlloc => ENOSPC,     // all 15 user keys taken
+            Site::SeccompInstall => EACCES, // no_new_privs refused
+            Site::PkruSwitch => EAGAIN,
         }
     }
 }
@@ -151,6 +180,7 @@ const ENOMEM: i32 = 12;
 const EACCES: i32 = 13;
 const EFAULT: i32 = 14;
 const EINVAL: i32 = 22;
+const ENOSPC: i32 = 28;
 const ENOSYS: i32 = 38;
 
 fn errno_by_name(name: &str) -> Option<i32> {
@@ -162,6 +192,7 @@ fn errno_by_name(name: &str) -> Option<i32> {
         "EACCES" => EACCES,
         "EFAULT" => EFAULT,
         "EINVAL" => EINVAL,
+        "ENOSPC" => ENOSPC,
         "ENOSYS" => ENOSYS,
         _ => return None,
     })
@@ -443,6 +474,24 @@ mod tests {
         assert_eq!(Site::PatchMprotect.default_errno(), EAGAIN);
         assert_eq!(Site::SudEnroll.default_errno(), ENOSYS);
         assert_eq!(Site::SlowpathEmulate.default_errno(), EINTR);
+        assert_eq!(Site::PkeyAlloc.default_errno(), ENOSPC);
+        assert_eq!(Site::SeccompInstall.default_errno(), EACCES);
+        assert_eq!(Site::PkruSwitch.default_errno(), EAGAIN);
+    }
+
+    #[test]
+    fn hardened_sites_parse_from_spec() {
+        let _g = LOCK.lock().unwrap();
+        disarm_all();
+        let n = arm_from_spec("pkey_alloc:first=1,seccomp_install:first=1:EINVAL,pkru_switch:nth=2")
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(check(Site::PkeyAlloc), Some(ENOSPC));
+        assert_eq!(check(Site::PkeyAlloc), None);
+        assert_eq!(check(Site::SeccompInstall), Some(EINVAL));
+        assert_eq!(check(Site::PkruSwitch), None);
+        assert_eq!(check(Site::PkruSwitch), Some(EAGAIN));
+        disarm_all();
     }
 
     #[test]

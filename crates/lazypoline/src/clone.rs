@@ -60,6 +60,10 @@ fn enable_thread_with_retry() -> bool {
 /// Called in fork children (from dispatcher context, selector ALLOW —
 /// the dispatcher exit path re-BLOCKs) and from the clone-child shim.
 pub(crate) fn reenroll_after_clone() {
+    // Hardened mode: the fresh task starts with its PKRU at the
+    // kernel's init value (slab writable) — close it before the first
+    // dispatch so the selector is protected again.
+    crate::harden::rearm_after_clone();
     if crate::tls::enrolled() {
         // After the bounded retry, ignore failure: the task degrades to
         // uninterposed rather than dying.
@@ -205,6 +209,13 @@ unsafe extern "C" fn lp_clone_child_init() {
             0,
         ],
     ));
+    // Hardened mode: adopt a protected selector slot for this fresh
+    // thread (its own cache line on the pkey slab) and close the slab
+    // before arming, mirroring the parent's enrollment.
+    if sud::pkey::slab_ready() {
+        let _ = sud::adopt_protected_selector();
+    }
+    crate::harden::rearm_after_clone();
     if enable_thread_with_retry() {
         sud::set_selector(sud::Dispatch::Block);
     }

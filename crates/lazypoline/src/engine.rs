@@ -174,6 +174,15 @@ pub struct Stats {
     /// Ring pushes that observed near-full (≥3/4) occupancy —
     /// backpressure the drain thread could not absorb (cumulative).
     pub ring_near_full: u64,
+    /// Near-full pushes that `sched_yield`ed the producer under the
+    /// opt-in `LP_DRAIN_YIELD` knob (cumulative).
+    pub drain_yields: u64,
+    /// Escape attempts the hardened-mode seccomp backstop caught
+    /// (cumulative; nonzero only under `lazypoline-hardened`).
+    pub bypass_blocked: u64,
+    /// WRPKRU open/close pairs around protected-selector writes
+    /// (cumulative; nonzero only with the pkey slab armed).
+    pub pkru_switches: u64,
 }
 
 /// Robustness snapshot: the active degradation-ladder rung plus the
@@ -190,6 +199,9 @@ pub struct Health {
     pub faults_injected: u64,
     /// Patch re-attempts after transient `mprotect` failures.
     pub patch_retries: u64,
+    /// The hardening rung achieved ([`crate::harden::level`];
+    /// `HardenLevel::Off` unless hardened install was attempted).
+    pub harden: crate::harden::HardenLevel,
     /// The full counter set ([`stats`]).
     pub stats: Stats,
 }
@@ -379,6 +391,13 @@ impl Engine {
     ///
     /// Returns the `prctl` failure; the thread is left un-enrolled.
     pub fn enroll_current_thread(&self) -> io::Result<()> {
+        // Hardened mode: give this thread a selector slot on the
+        // protected slab *before* the prctl, so the kernel records the
+        // protected address. A full slab falls back to the TLS byte —
+        // the thread is interposed, just not selector-hardened.
+        if sud::pkey::slab_ready() {
+            let _ = sud::adopt_protected_selector();
+        }
         tls::set_enrolled(true);
         match sud::enable_thread() {
             Ok(()) => {
@@ -451,6 +470,9 @@ pub fn stats() -> Stats {
         events_spilled: replay::events_spilled(),
         ring_grows: replay::ring::total_grows(),
         ring_near_full: replay::ring::total_near_full(),
+        drain_yields: replay::ring::total_drain_yields(),
+        bypass_blocked: crate::harden::bypass_blocked(),
+        pkru_switches: sud::pkey::pkru_switch_count(),
     }
 }
 
@@ -464,6 +486,7 @@ pub fn health() -> Health {
         quarantined_handlers: stats.quarantined_handlers,
         faults_injected: faultinject::total_injected(),
         patch_retries: stats.patch_retries,
+        harden: crate::harden::level(),
         stats,
     }
 }

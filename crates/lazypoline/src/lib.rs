@@ -50,12 +50,14 @@ mod clone;
 mod counters;
 mod engine;
 mod fastpath;
+pub mod harden;
 mod raw_internal;
 mod signals;
 mod slowpath;
 mod tls;
 
 pub use engine::{health, init, mode, stats, Config, Engine, Health, InitError, Mode, Stats};
+pub use harden::{BypassPolicy, HardenLevel};
 pub use zpoline::XstateMask;
 
 #[cfg(test)]

@@ -17,11 +17,20 @@ use syscalls::SyscallArgs;
 
 /// Issues `call` natively. Never patched; see module docs.
 ///
+/// Under hardened mode the backstop filter only admits syscalls issued
+/// from allowlisted code, which this crate's text is not — so once the
+/// gate is armed, delegate to [`syscalls::raw::syscall`], which routes
+/// through the gate page. The recursion hazard in the module docs does
+/// not apply there: the gate page is never a rewriting candidate.
+///
 /// # Safety
 ///
 /// Same contract as [`syscalls::raw::syscall`].
 #[inline(never)]
 pub(crate) unsafe fn syscall(call: SyscallArgs) -> u64 {
+    if syscalls::raw::gate_armed() {
+        return syscalls::raw::syscall(call);
+    }
     let ret;
     asm!(
         "syscall",

@@ -83,8 +83,19 @@ pub(crate) unsafe extern "C" fn sigsys_handler(
 ) {
     let si = SigsysInfo::from_siginfo(info);
     if si.code != sud::SYS_USER_DISPATCH {
-        // A genuine SIGSYS (e.g. seccomp): forward to the application's
-        // recorded handler, if any.
+        if si.code == crate::harden::SYS_SECCOMP && crate::harden::backstop_armed() {
+            // The hardened backstop caught a syscall from
+            // non-allowlisted code with the selector at ALLOW — a
+            // bypass attempt. Kill never returns; quarantine asks us
+            // to route the syscall through the interposer after all.
+            if crate::harden::on_bypass() {
+                let mut uc = UContext::from_ptr(ctx);
+                emulate_in_handler(&mut uc);
+            }
+            return;
+        }
+        // A genuine SIGSYS (e.g. application seccomp): forward to the
+        // application's recorded handler, if any.
         forward_foreign_sigsys(sig, info, ctx);
         return;
     }

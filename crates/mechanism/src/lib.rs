@@ -27,11 +27,12 @@
 //! | `lazypoline-nox` | the hybrid without extended-state preservation |
 //! | `lazypoline` | the full hybrid (default) |
 //! | `lazypoline-nobatch` | the hybrid with page-granular batch rewriting off |
+//! | `lazypoline-hardened` | the hybrid with the pkey-protected selector and seccomp backstop (one-way per process; degrades gracefully without MPK) |
 //!
 //! Simulated (run a guest program, see [`ActiveMechanism::run_program`]):
 //! `sim:baseline`, `sim:baseline-sud`, `sim:ptrace`, `sim:seccomp-bpf`,
 //! `sim:seccomp-user`, `sim:sud`, `sim:zpoline`, `sim:lazypoline-nox`,
-//! `sim:lazypoline`.
+//! `sim:lazypoline`, `sim:lazypoline-hardened`.
 //!
 //! Dynamic (parsed by [`by_name`], composed over the rows above):
 //! `<base>+record` (flight recorder around any backend) and
@@ -184,6 +185,14 @@ pub struct StatsSnapshot {
     /// Ring pushes that observed near-full (≥3/4) occupancy —
     /// recorder backpressure short of an actual drop.
     pub ring_near_full: u64,
+    /// Near-full pushes that yielded the producer (`LP_DRAIN_YIELD`).
+    pub drain_yields: u64,
+    /// Escape attempts the hardened backstop caught (nonzero only
+    /// under `lazypoline-hardened` / `sim:lazypoline-hardened`).
+    pub bypass_blocked: u64,
+    /// WRPKRU open/close pairs around protected-selector writes
+    /// (nonzero only with the pkey layer armed).
+    pub pkru_switches: u64,
 }
 
 impl StatsSnapshot {
@@ -410,6 +419,7 @@ mod tests {
             "lazypoline-nox",
             "lazypoline",
             "lazypoline-nobatch",
+            "lazypoline-hardened",
             "sim:baseline",
             "sim:baseline-sud",
             "sim:ptrace",
@@ -419,11 +429,12 @@ mod tests {
             "sim:zpoline",
             "sim:lazypoline-nox",
             "sim:lazypoline",
+            "sim:lazypoline-hardened",
         ] {
             let m = by_name(name).unwrap_or_else(|| panic!("{name} not registered"));
             assert_eq!(m.name(), name);
         }
-        assert_eq!(names().len(), 17);
+        assert_eq!(names().len(), 19);
         assert!(by_name("ptrace").is_none(), "native ptrace is not a backend");
     }
 
@@ -441,6 +452,16 @@ mod tests {
         );
         let zp = by_name("zpoline").unwrap().traits();
         assert!(!zp.exhaustive, "rewriting alone misses JIT syscalls");
+        // The hardened rows keep lazypoline's winning profile, and the
+        // native and simulated variants agree.
+        let hard = by_name("lazypoline-hardened").unwrap().traits();
+        assert_eq!(hard.expressiveness, Expressiveness::Full);
+        assert!(hard.exhaustive);
+        assert_eq!(hard.efficiency, Efficiency::High);
+        assert_eq!(
+            hard,
+            by_name("sim:lazypoline-hardened").unwrap().traits()
+        );
     }
 
     #[test]

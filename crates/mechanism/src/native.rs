@@ -34,10 +34,24 @@ enum NativeCfg {
         lazy_rewriting: bool,
         batch_rewriting: bool,
     },
+    /// The full hybrid plus the hardened layers: pkey-protected
+    /// selector (where MPK hardware exists) and the seccomp backstop
+    /// filter. **One-way per process**: the filter cannot be removed,
+    /// and the syscall gate stays armed after teardown.
+    Hardened,
 }
 
 const LAZYPOLINE_TRAITS: Traits = Traits {
     name: "lazypoline (hybrid)",
+    expressiveness: Expressiveness::Full,
+    exhaustive: true,
+    efficiency: Efficiency::High,
+};
+
+/// Shared by the native and simulated hardened rows (the traits
+/// equality test pairs them up).
+pub(crate) const HARDENED_TRAITS: Traits = Traits {
+    name: "lazypoline (hardened)",
     expressiveness: Expressiveness::Full,
     exhaustive: true,
     efficiency: Efficiency::High,
@@ -57,7 +71,7 @@ const BASELINE_TRAITS: Traits = Traits {
     efficiency: Efficiency::High,
 };
 
-pub(crate) static NATIVE_BACKENDS: [NativeBackend; 8] = [
+pub(crate) static NATIVE_BACKENDS: [NativeBackend; 9] = [
     NativeBackend {
         key: "none",
         cfg: NativeCfg::Nothing,
@@ -123,6 +137,11 @@ pub(crate) static NATIVE_BACKENDS: [NativeBackend; 8] = [
         },
         traits: LAZYPOLINE_TRAITS,
     },
+    NativeBackend {
+        key: "lazypoline-hardened",
+        cfg: NativeCfg::Hardened,
+        traits: HARDENED_TRAITS,
+    },
 ];
 
 impl Mechanism for NativeBackend {
@@ -145,6 +164,12 @@ impl Mechanism for NativeBackend {
             NativeCfg::Engine { lazy_rewriting, .. } => {
                 sud::is_supported()
                     && (!lazy_rewriting || zpoline::Trampoline::environment_supported())
+            }
+            // The hardened row needs the full hybrid; the hardening
+            // layers themselves degrade (no MPK → backstop only, no
+            // seccomp → plain lazypoline) rather than gate availability.
+            NativeCfg::Hardened => {
+                sud::is_supported() && zpoline::Trampoline::environment_supported()
             }
         }
     }
@@ -207,6 +232,23 @@ impl Mechanism for NativeBackend {
                     restore_xstate: xstate != XstateMask::Avx,
                 }
             }
+            NativeCfg::Hardened => {
+                // Ladder rung 1: protected selector — must precede
+                // init so enrollment hands the kernel the protected
+                // address. Failure (no MPK hardware) degrades.
+                let _ = lazypoline::harden::prepare_pkey();
+                let engine = lazypoline::init(lazypoline::Config::default())
+                    .map_err(InstallError::Init)?;
+                // Ladder rung 2: the seccomp backstop — after init, so
+                // every legitimate syscall path (gate page, number
+                // allowlist) exists before the irreversible filter.
+                let _ =
+                    lazypoline::harden::arm_backstop(lazypoline::harden::policy_from_env());
+                NativeKind::Engine {
+                    engine,
+                    restore_xstate: false,
+                }
+            }
         };
         Ok(ActiveMechanism::new(
             self.key,
@@ -260,6 +302,7 @@ impl NativeActive {
         s.events_spilled = now.events_spilled.saturating_sub(self.base.events_spilled);
         s.ring_grows = now.ring_grows.saturating_sub(self.base.ring_grows);
         s.ring_near_full = now.ring_near_full.saturating_sub(self.base.ring_near_full);
+        s.drain_yields = now.drain_yields.saturating_sub(self.base.drain_yields);
         match &self.kind {
             NativeKind::Nothing | NativeKind::SudAllow => {}
             NativeKind::RawSud { .. } => {
@@ -295,6 +338,8 @@ impl NativeActive {
                 s.pages_blocklisted = now
                     .pages_blocklisted
                     .saturating_sub(self.base.pages_blocklisted);
+                s.bypass_blocked = now.bypass_blocked.saturating_sub(self.base.bypass_blocked);
+                s.pkru_switches = now.pkru_switches.saturating_sub(self.base.pkru_switches);
             }
         }
         s

@@ -13,7 +13,7 @@ pub(crate) struct SimBackend {
     mech: sim_interpose::Mechanism,
 }
 
-pub(crate) static SIM_BACKENDS: [SimBackend; 9] = [
+pub(crate) static SIM_BACKENDS: [SimBackend; 10] = [
     SimBackend {
         key: "sim:baseline",
         mech: sim_interpose::Mechanism::Baseline,
@@ -49,6 +49,10 @@ pub(crate) static SIM_BACKENDS: [SimBackend; 9] = [
     SimBackend {
         key: "sim:lazypoline",
         mech: sim_interpose::Mechanism::Lazypoline { xstate: true },
+    },
+    SimBackend {
+        key: "sim:lazypoline-hardened",
+        mech: sim_interpose::Mechanism::LazypolineHardened,
     },
 ];
 
@@ -92,6 +96,7 @@ pub(crate) struct SimActive {
     base_spilled: u64,
     base_grows: u64,
     base_near_full: u64,
+    base_drain_yields: u64,
 }
 
 impl SimActive {
@@ -110,6 +115,7 @@ impl SimActive {
             base_spilled: replay::events_spilled(),
             base_grows: replay::ring::total_grows(),
             base_near_full: replay::ring::total_near_full(),
+            base_drain_yields: replay::ring::total_drain_yields(),
         }
     }
 
@@ -167,6 +173,8 @@ impl SimActive {
         s.events_spilled = replay::events_spilled().saturating_sub(self.base_spilled);
         s.ring_grows = replay::ring::total_grows().saturating_sub(self.base_grows);
         s.ring_near_full = replay::ring::total_near_full().saturating_sub(self.base_near_full);
+        s.drain_yields =
+            replay::ring::total_drain_yields().saturating_sub(self.base_drain_yields);
         s
     }
 }

@@ -58,6 +58,15 @@ pub const LP_RING_CAPACITY: &str = "LP_RING_CAPACITY";
 /// power of two in `[1, HARD_MAX_RINGS]`).
 pub const LP_MAX_RINGS: &str = "LP_MAX_RINGS";
 
+/// Environment variable opting into producer-side cooperative
+/// yielding: any non-empty value other than `0` makes a near-full push
+/// `sched_yield` the producer, giving a same-core drain thread a
+/// timeslice before the ring overflows. Off by default — yielding
+/// perturbs the application (the flight-recorder contract), so it is
+/// strictly an opt-in for single-core deployments where the PR 6 async
+/// drain thread cannot run concurrently with the producer.
+pub const LP_DRAIN_YIELD: &str = "LP_DRAIN_YIELD";
+
 /// Near-full threshold: a push that leaves occupancy at or above 3/4
 /// of capacity counts as backpressure and requests growth.
 const NEAR_FULL_NUM: usize = 3;
@@ -132,6 +141,11 @@ impl From<RingConfigError> for std::io::Error {
 static CONFIG_CAPACITY: AtomicUsize = AtomicUsize::new(0);
 /// Configured usable ring count (0 = unset, use default).
 static CONFIG_MAX_RINGS: AtomicUsize = AtomicUsize::new(0);
+/// Whether near-full pushes yield the producer ([`LP_DRAIN_YIELD`]).
+static DRAIN_YIELD: AtomicBool = AtomicBool::new(false);
+/// Times a near-full push actually yielded (process-wide; the knob is
+/// global, so the counter is too).
+static DRAIN_YIELDS: AtomicU64 = AtomicU64::new(0);
 
 /// Sets the ring geometry programmatically. Both must be powers of two
 /// (validated with a typed [`RingConfigError`]); affects rings claimed
@@ -158,7 +172,28 @@ pub fn configure_from_env() -> Result<(), RingConfigError> {
         validate(LP_MAX_RINGS, v, 1, HARD_MAX_RINGS as u64)?;
         CONFIG_MAX_RINGS.store(v as usize, Ordering::Release);
     }
+    // Boolean knob: set and not "0" means on (no typed error — any
+    // value is a valid intent).
+    if let Ok(s) = std::env::var(LP_DRAIN_YIELD) {
+        set_drain_yield(!s.is_empty() && s != "0");
+    }
     Ok(())
+}
+
+/// Enables/disables producer-side yielding programmatically (the
+/// [`LP_DRAIN_YIELD`] equivalent).
+pub fn set_drain_yield(enabled: bool) {
+    DRAIN_YIELD.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether near-full pushes currently yield.
+pub fn drain_yield_enabled() -> bool {
+    DRAIN_YIELD.load(Ordering::Relaxed)
+}
+
+/// Times a near-full push `sched_yield`ed the producer (process-wide).
+pub fn total_drain_yields() -> u64 {
+    DRAIN_YIELDS.load(Ordering::Relaxed)
 }
 
 fn env_value(var: &'static str) -> Result<Option<u64>, RingConfigError> {
@@ -360,6 +395,16 @@ impl SpscRing {
             // A parked drainer must not ride out its timeout against a
             // 3/4-full ring: this is the backpressure signal.
             crate::drain::wake_if_parked();
+            // Opt-in single-core relief: donate the rest of this
+            // timeslice so the drainer can empty the ring before the
+            // producer overflows it. A raw syscall — still allocator-
+            // free and async-signal-safe.
+            if DRAIN_YIELD.load(Ordering::Relaxed) {
+                DRAIN_YIELDS.fetch_add(1, Ordering::Relaxed);
+                unsafe {
+                    syscalls::raw::syscall0(syscalls::nr::SCHED_YIELD);
+                }
+            }
         }
         true
     }
@@ -653,6 +698,32 @@ mod tests {
         ring.drain(|r| seen.push(r.sysno));
         assert_eq!(seen, vec![99], "record landed in the grown array");
         assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_yield_fires_only_when_enabled() {
+        // Fresh rings per phase: backpressure from the first phase
+        // would otherwise grow the ring at the next empty push and put
+        // the 3/4 threshold out of reach.
+        set_drain_yield(false);
+        let quiet = SpscRing::with_capacity(64);
+        for i in 0..48 {
+            assert!(quiet.push(rec(i)));
+        }
+        assert!(quiet.near_full() > 0);
+        let before = total_drain_yields();
+
+        // Enabled: the near-full crossing push yields and counts.
+        set_drain_yield(true);
+        let noisy = SpscRing::with_capacity(64);
+        for i in 0..48 {
+            assert!(noisy.push(rec(i)));
+        }
+        set_drain_yield(false);
+        let fired = total_drain_yields() - before;
+        assert!(fired > 0, "yield counter proves the knob fires");
+        assert!(noisy.near_full() > 0);
+        assert_eq!(noisy.dropped(), 0);
     }
 
     #[test]

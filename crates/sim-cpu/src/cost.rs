@@ -39,6 +39,10 @@ pub struct CostModel {
     /// User-mode share of a `syscall` instruction (the kernel adds its
     /// own entry/exit cost).
     pub syscall_user: u64,
+    /// Protection-key switch (`wrpkru`, ~20 cycles on real MPK
+    /// hardware — the cheapness that makes per-dispatch selector
+    /// protection viable, paper §VI).
+    pub wrpkru: u64,
 }
 
 impl Default for CostModel {
@@ -55,6 +59,7 @@ impl Default for CostModel {
             call: 4,
             ret: 4,
             syscall_user: 2,
+            wrpkru: 20,
         }
     }
 }
@@ -77,6 +82,7 @@ impl CostModel {
             Call(..) | CallReg(..) => self.call,
             Ret => self.ret,
             Syscall => self.syscall_user,
+            Wrpkru(..) => self.wrpkru,
         }
     }
 }

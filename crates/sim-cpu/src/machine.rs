@@ -430,6 +430,10 @@ impl Machine {
                 }
                 self.rip = next;
             }
+            Wrpkru(r) => {
+                self.mem.set_pkru_wd(self.gpr[r.index()] as u16);
+                self.rip = next;
+            }
         }
         Ok(None)
     }

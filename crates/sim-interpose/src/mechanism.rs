@@ -34,6 +34,11 @@ pub enum Mechanism {
         /// Preserve vector state in the fast path (paper §IV-B(b)).
         xstate: bool,
     },
+    /// Lazypoline plus the §VI hardening pair: the selector page is
+    /// MPK-keyed (stubs bracket their selector writes with `wrpkru`
+    /// windows) and a seccomp backstop kills any syscall issued from
+    /// outside the interposer's code while the selector is ALLOW.
+    LazypolineHardened,
 }
 
 impl Mechanism {
@@ -49,17 +54,19 @@ impl Mechanism {
             Mechanism::Zpoline => "zpoline",
             Mechanism::Lazypoline { xstate: true } => "lazypoline",
             Mechanism::Lazypoline { xstate: false } => "lazypoline (no xstate)",
+            Mechanism::LazypolineHardened => "lazypoline (hardened)",
         }
     }
 
     /// All mechanisms, in Table-II-like order.
-    pub fn all() -> [Mechanism; 9] {
+    pub fn all() -> [Mechanism; 10] {
         [
             Mechanism::Baseline,
             Mechanism::BaselineSudEnabled,
             Mechanism::Zpoline,
             Mechanism::Lazypoline { xstate: false },
             Mechanism::Lazypoline { xstate: true },
+            Mechanism::LazypolineHardened,
             Mechanism::Sud,
             Mechanism::SeccompUser,
             Mechanism::SeccompBpf,
@@ -216,6 +223,7 @@ impl Interposed {
                     xstate: false,
                     sud_aware: false,
                     interest: filtered,
+                    pkey: false,
                 });
                 install_code(&mut system, TRAMPOLINE_BASE, &page);
             }
@@ -225,9 +233,10 @@ impl Interposed {
                     xstate,
                     sud_aware: true,
                     interest: filtered,
+                    pkey: false,
                 });
                 install_code(&mut system, TRAMPOLINE_BASE, &page);
-                let handler = lazypoline_handler()
+                let handler = lazypoline_handler(false)
                     .assemble_at(HANDLER_BASE)
                     .map_err(asm_err)?;
                 install_code(&mut system, HANDLER_BASE, &handler);
@@ -240,6 +249,46 @@ impl Interposed {
                     allow_len: 0,
                 });
                 set_selector(&mut system, sysno::SELECTOR_BLOCK);
+            }
+            Mechanism::LazypolineHardened => {
+                // Lazypoline (xstate on, like the paper's headline
+                // configuration) with pkey-aware stubs…
+                let page = trampoline_page(StubConfig {
+                    trace,
+                    xstate: true,
+                    sud_aware: true,
+                    interest: filtered,
+                    pkey: true,
+                });
+                install_code(&mut system, TRAMPOLINE_BASE, &page);
+                let handler = lazypoline_handler(true)
+                    .assemble_at(HANDLER_BASE)
+                    .map_err(asm_err)?;
+                install_code(&mut system, HANDLER_BASE, &handler);
+                system.kernel.set_signal_handler(sysno::SIGSYS, HANDLER_BASE);
+                system.kernel.set_sud(SudConfig {
+                    enabled: true,
+                    selector_addr: SELECTOR_ADDR,
+                    allow_start: 0,
+                    allow_len: 0,
+                });
+                set_selector(&mut system, sysno::SELECTOR_BLOCK);
+                // …the selector page keyed and the window closed (the
+                // selector write above happens before the key arms)…
+                system
+                    .machine
+                    .mem
+                    .set_pkey(DATA_BASE, 4096, SELECTOR_PKEY)
+                    .expect("data page mapped");
+                system.machine.mem.set_pkru_wd(SELECTOR_WD_MASK as u16);
+                // …and the seccomp backstop: SUD runs first, so only
+                // syscalls issued while the selector is illegitimately
+                // ALLOW ever reach the filter — killed unless they come
+                // from the interposer's own pages.
+                system.kernel.install_seccomp(BpfProgram::kill_all_except_ip_range(
+                    TRAMPOLINE_BASE,
+                    HANDLER_BASE + HANDLER_LEN,
+                ));
             }
         }
 

@@ -44,6 +44,12 @@ pub enum Protection {
     /// stubs open/close a write window (MPK-style isolation, modelled
     /// with `mprotect`).
     ReadOnlySelector,
+    /// The selector page stays writable (pkeys unavailable — the
+    /// degradation rung below full hardening), but a seccomp filter
+    /// kills any syscall issued from outside the interposer's code.
+    /// The attacker can flip the selector, yet the very syscall the
+    /// flip was meant to hide becomes lethal.
+    SeccompBackstop,
 }
 
 /// Outcome of the attack demonstration.
@@ -67,7 +73,7 @@ pub enum AttackOutcome {
 /// r0..r3 in protected mode — callers save what they need).
 fn emit_selector_store(asm: Asm, value: u8, protection: Protection) -> Asm {
     let asm = match protection {
-        Protection::None => asm,
+        Protection::None | Protection::SeccompBackstop => asm,
         Protection::ReadOnlySelector => asm
             .mov_ri(Gpr::R0, sysno::MPROTECT)
             .mov_ri(Gpr::R1, DATA_BASE)
@@ -80,7 +86,7 @@ fn emit_selector_store(asm: Asm, value: u8, protection: Protection) -> Asm {
         .mov_ri(Gpr::R8, value as u64)
         .store_b(Gpr::R7, Gpr::R8, 0);
     match protection {
-        Protection::None => asm,
+        Protection::None | Protection::SeccompBackstop => asm,
         Protection::ReadOnlySelector => asm
             .mov_ri(Gpr::R0, sysno::MPROTECT)
             .mov_ri(Gpr::R1, DATA_BASE)
@@ -111,7 +117,7 @@ fn protected_stub(protection: Protection) -> Asm {
     // Open the write window (protected mode), then do ALL data-page
     // writes — selector and trace record — inside it.
     let asm = match protection {
-        Protection::None => asm,
+        Protection::None | Protection::SeccompBackstop => asm,
         Protection::ReadOnlySelector => asm
             .mov_ri(Gpr::R0, sysno::MPROTECT)
             .mov_ri(Gpr::R1, DATA_BASE)
@@ -133,7 +139,7 @@ fn protected_stub(protection: Protection) -> Asm {
         .mov_ri(Gpr::R8, sysno::SELECTOR_BLOCK as u64)
         .store_b(Gpr::R7, Gpr::R8, 0);
     let asm = match protection {
-        Protection::None => asm,
+        Protection::None | Protection::SeccompBackstop => asm,
         Protection::ReadOnlySelector => asm
             .mov_ri(Gpr::R0, sysno::MPROTECT)
             .mov_ri(Gpr::R1, DATA_BASE)
@@ -233,6 +239,18 @@ fn setup(program: &[u8], protection: Protection) -> Result<System, SetupError> {
         .write(SELECTOR_ADDR, &[sysno::SELECTOR_BLOCK])
         .expect("selector");
 
+    if protection == Protection::SeccompBackstop {
+        // Kill any syscall issued from outside the interposer's pages;
+        // SUD is checked first, so BLOCKed application syscalls still
+        // dispatch normally — only selector-ALLOW bypasses die here.
+        system
+            .kernel
+            .install_seccomp(sim_kernel::seccomp::BpfProgram::kill_all_except_ip_range(
+                TRAMPOLINE_BASE,
+                HANDLER_BASE + HANDLER_LEN,
+            ));
+    }
+
     if protection == Protection::ReadOnlySelector {
         system
             .machine
@@ -303,6 +321,9 @@ pub fn run_attack(protection: Protection) -> Result<AttackOutcome, SetupError> {
             sig: code as u64,
         })),
         Err(SimError::Fault(_)) => Ok(AttackOutcome::Blocked),
+        // The seccomp backstop's kill: the selector flip succeeded but
+        // the hidden syscall itself was lethal.
+        Err(SimError::SeccompKill) => Ok(AttackOutcome::Blocked),
         Err(e) => Err(SetupError::Sim(e)),
     }
 }
@@ -368,5 +389,85 @@ mod tests {
         // …but stays within an order of magnitude (mprotect-based
         // window; MPK would be far cheaper).
         assert!(prot < unprot * 10, "protected {prot} vs {unprot}");
+    }
+
+    #[test]
+    fn seccomp_backstop_blocks_the_attack() {
+        // Pkeys unavailable: the selector flip itself succeeds, but
+        // the hidden syscall is killed by the backstop filter.
+        assert_eq!(
+            run_attack(Protection::SeccompBackstop).unwrap(),
+            AttackOutcome::Blocked
+        );
+    }
+
+    #[test]
+    fn backstop_does_not_break_honest_workloads() {
+        // Same stubs, backstop armed, no attacker: the loop workload
+        // must run to completion — interposer-issued syscalls are
+        // allowlisted by IP, application syscalls dispatch via SUD
+        // before the filter is consulted.
+        let (unprot, backstop) = {
+            let program = Asm::new()
+                .mov_ri(Gpr::R11, 50)
+                .label("loop")
+                .mov_ri(Gpr::R0, sysno::GETPID)
+                .syscall()
+                .sub_ri(Gpr::R11, 1)
+                .cmp_ri(Gpr::R11, 0)
+                .jnz("loop")
+                .mov_ri(Gpr::R0, sysno::EXIT_GROUP)
+                .mov_ri(Gpr::R1, 0)
+                .syscall()
+                .assemble_at(sim_kernel::kernel::LOAD_ADDR)
+                .unwrap();
+            let run = |protection| {
+                let mut system = setup(&program, protection).unwrap();
+                system.run().unwrap();
+                system.cycles()
+            };
+            (run(Protection::None), run(Protection::SeccompBackstop))
+        };
+        // The backstop costs a BPF walk per interposer syscall but no
+        // mprotect windows — far cheaper than the mprotect model.
+        assert!(backstop >= unprot, "backstop {backstop} < unprot {unprot}");
+    }
+
+    #[test]
+    fn hardened_mechanism_pkey_fault_blocks_selector_overwrite() {
+        // End-to-end through the registry mechanism: the attacker's
+        // plain store to the MPK-keyed selector page faults ('p').
+        use crate::mechanism::{Interposed, Mechanism};
+        let mut ip =
+            Interposed::setup(Mechanism::LazypolineHardened, &attack_program(), true).unwrap();
+        match ip.run() {
+            Err(SimError::Fault(sim_cpu::machine::Fault::Mem(
+                sim_cpu::mem::MemFault::Protection { access: 'p', addr },
+            ))) => assert_eq!(addr, SELECTOR_ADDR),
+            other => panic!("expected pkey fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_lazypoline_mechanism_attack_evades() {
+        // The same attack against unhardened lazypoline: completes,
+        // and the hidden getuid is missing from the observed trace.
+        use crate::mechanism::{Interposed, Mechanism};
+        let mut ip = Interposed::setup(
+            Mechanism::Lazypoline { xstate: true },
+            &attack_program(),
+            true,
+        )
+        .unwrap();
+        assert_eq!(ip.run().unwrap(), 0);
+        let trace = ip.observed_trace();
+        assert!(
+            trace.contains(&sysno::GETPID),
+            "honest syscalls observed: {trace:?}"
+        );
+        assert!(
+            !trace.contains(&sysno::GETUID),
+            "hidden syscall should have evaded: {trace:?}"
+        );
     }
 }

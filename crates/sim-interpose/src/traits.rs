@@ -107,6 +107,15 @@ pub fn mechanism_traits(m: Mechanism) -> Traits {
             exhaustive: true,
             efficiency: Efficiency::High,
         },
+        // Hardening adds two wrpkru switches per dispatch and a BPF
+        // walk on interposer-issued syscalls — still no mode switch on
+        // the application fast path, so the efficiency class holds.
+        Mechanism::LazypolineHardened => Traits {
+            name: "lazypoline (hardened)",
+            expressiveness: Expressiveness::Full,
+            exhaustive: true,
+            efficiency: Efficiency::High,
+        },
     }
 }
 
@@ -127,7 +136,12 @@ mod tests {
             .map(|t| t.name)
             .collect();
         winners.dedup();
-        assert_eq!(winners, vec!["lazypoline (hybrid)"]);
+        // The hardened variant keeps the winning profile: protection
+        // must not cost the Table-I sweet spot.
+        assert_eq!(
+            winners,
+            vec!["lazypoline (hybrid)", "lazypoline (hardened)"]
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+pub mod pkey;
 pub mod sigsys;
 
 use std::cell::Cell;
@@ -108,13 +109,39 @@ thread_local! {
 /// the kernel via `prctl`, which reads it on *every* syscall entry from
 /// this thread (the cost of that read is what Table II's
 /// "baseline with SUD enabled" row measures).
+///
+/// In hardened mode ([`adopt_protected_selector`]) the address points
+/// into the pkey-protected slab instead of plain TLS; callers that
+/// cached the pre-adoption pointer must re-issue the SUD `prctl`.
 pub fn selector_ptr() -> *mut u8 {
-    SELECTOR.with(|c| c.as_ptr())
+    let adopted = pkey::adopted_slot();
+    if adopted.is_null() {
+        SELECTOR.with(|c| c.as_ptr())
+    } else {
+        adopted
+    }
 }
 
 /// Reads the calling thread's selector.
 pub fn selector() -> Dispatch {
-    Dispatch::from_byte(SELECTOR.with(|c| c.get()))
+    Dispatch::from_byte(unsafe { selector_ptr().read_volatile() })
+}
+
+/// Moves the calling thread's selector byte onto the pkey-protected
+/// slab (hardened mode), preserving its current value. From this point
+/// [`selector_ptr`] returns the slab slot and [`set_selector`] brackets
+/// each store with `WRPKRU` open/close switches. If the thread is
+/// already SUD-enrolled the caller must re-issue [`enable_thread`] (or
+/// the allowlist variant) so the kernel polls the new address.
+///
+/// # Errors
+///
+/// Propagates [`pkey::adopt_protected_selector`] failures (`ENOENT`
+/// when no slab was initialised, `ENOSPC` when the slab is full).
+pub fn adopt_protected_selector() -> io::Result<()> {
+    let current = unsafe { selector_ptr().read_volatile() };
+    pkey::adopt_protected_selector(current)?;
+    Ok(())
 }
 
 /// Bounded attempts in [`set_selector`]'s write-verify loop before the
@@ -136,18 +163,32 @@ const SELECTOR_WRITE_ATTEMPTS: u32 = 3;
 /// interposition — so this seam degrades to *detected-and-repaired*,
 /// never to a lost write.
 pub fn set_selector(d: Dispatch) {
-    SELECTOR.with(|c| {
-        for _ in 0..SELECTOR_WRITE_ATTEMPTS {
-            if faultinject::check(faultinject::Site::SelectorWrite).is_none() {
-                c.set(d.as_byte());
-            }
-            // Write-verify: a dropped store leaves a stale byte behind.
-            if c.get() == d.as_byte() {
-                return;
-            }
+    let adopted = pkey::adopted_slot();
+    let ptr = if adopted.is_null() {
+        SELECTOR.with(|c| c.as_ptr())
+    } else {
+        adopted
+    };
+    for _ in 0..SELECTOR_WRITE_ATTEMPTS {
+        if faultinject::check(faultinject::Site::SelectorWrite).is_none() {
+            store_selector(ptr, adopted.is_null(), d);
         }
-        c.set(d.as_byte());
-    });
+        // Write-verify: a dropped store leaves a stale byte behind.
+        if unsafe { ptr.read_volatile() } == d.as_byte() {
+            return;
+        }
+    }
+    store_selector(ptr, adopted.is_null(), d);
+}
+
+/// One selector store: plain TLS write, or a `WRPKRU`-bracketed slab
+/// write when the thread's selector lives on the protected slab.
+fn store_selector(ptr: *mut u8, plain: bool, d: Dispatch) {
+    if plain {
+        unsafe { ptr.write_volatile(d.as_byte()) };
+    } else {
+        unsafe { pkey::protected_store(ptr, d.as_byte()) };
+    }
 }
 
 /// Enables SUD on the calling thread with no allowlisted code range.

@@ -221,6 +221,9 @@ syscall_table! {
     (322, EXECVEAT, "execveat");
     (324, MEMBARRIER, "membarrier");
     (325, MLOCK2, "mlock2");
+    (329, PKEY_MPROTECT, "pkey_mprotect");
+    (330, PKEY_ALLOC, "pkey_alloc");
+    (331, PKEY_FREE, "pkey_free");
     (332, STATX, "statx");
     (334, RSEQ, "rseq");
     (424, PIDFD_SEND_SIGNAL, "pidfd_send_signal");

@@ -11,6 +11,18 @@
 //!    `call rax`, subsequent executions enter the trampoline instead —
 //!    which is precisely the behaviour the exhaustiveness tests assert.
 //!
+//! # The hardened-mode syscall gate
+//!
+//! Hardened interposition installs a seccomp backstop filter that only
+//! admits syscalls whose instruction pointer lies in allowlisted code
+//! (libc, the dynamic loader, the vdso, and one dedicated *gate page*).
+//! The `syscall` instructions in this crate live in whatever object
+//! embeds it — typically the main binary — which the backstop
+//! deliberately does **not** allowlist. [`set_syscall_gate`] therefore
+//! redirects every invocation through the gate page's stub once armed;
+//! disarmed (the default, and every non-hardened configuration) the
+//! cost is one relaxed atomic load and a never-taken branch per call.
+//!
 //! # Safety
 //!
 //! All functions are `unsafe`: a syscall can violate any invariant Rust
@@ -19,6 +31,50 @@
 
 use crate::SyscallArgs;
 use core::arch::asm;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+/// Address of the hardened gate stub, or 0 when disarmed. The stub has
+/// the signature of [`GateFn`]: seven SysV integer arguments
+/// (`nr, a1..a6`), syscall return in `rax`.
+static SYSCALL_GATE: AtomicUsize = AtomicUsize::new(0);
+
+/// The gate stub's calling convention: `(nr, a1, a2, a3, a4, a5, a6)`.
+pub type GateFn = unsafe extern "C" fn(u64, u64, u64, u64, u64, u64, u64) -> u64;
+
+/// Arms the syscall gate: every subsequent `syscallN` invocation from
+/// this crate is routed through `stub` instead of the local `syscall`
+/// instruction (see the module docs). One-way in practice — hardened
+/// mode never disarms a live seccomp backstop.
+///
+/// # Safety
+///
+/// `stub` must remain a valid [`GateFn`] for the rest of the process
+/// lifetime.
+pub unsafe fn set_syscall_gate(stub: GateFn) {
+    SYSCALL_GATE.store(stub as usize, Ordering::Release);
+}
+
+/// Disarms the gate (only meaningful before a backstop filter is
+/// live — used on failed hardened installs).
+pub fn clear_syscall_gate() {
+    SYSCALL_GATE.store(0, Ordering::Release);
+}
+
+/// Whether the hardened gate is armed.
+#[inline]
+pub fn gate_armed() -> bool {
+    SYSCALL_GATE.load(Ordering::Relaxed) != 0
+}
+
+#[inline]
+unsafe fn gated(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64, a6: u64) -> Option<u64> {
+    let g = SYSCALL_GATE.load(Ordering::Relaxed);
+    if g == 0 {
+        return None;
+    }
+    let f: GateFn = core::mem::transmute(g);
+    Some(f(nr, a1, a2, a3, a4, a5, a6))
+}
 
 /// Invokes a syscall with zero arguments.
 ///
@@ -27,6 +83,9 @@ use core::arch::asm;
 /// See the [module docs](self).
 #[inline]
 pub unsafe fn syscall0(nr: u64) -> u64 {
+    if let Some(r) = gated(nr, 0, 0, 0, 0, 0, 0) {
+        return r;
+    }
     let ret;
     asm!(
         "syscall",
@@ -45,6 +104,9 @@ pub unsafe fn syscall0(nr: u64) -> u64 {
 /// See the [module docs](self).
 #[inline]
 pub unsafe fn syscall1(nr: u64, a1: u64) -> u64 {
+    if let Some(r) = gated(nr, a1, 0, 0, 0, 0, 0) {
+        return r;
+    }
     let ret;
     asm!(
         "syscall",
@@ -64,6 +126,9 @@ pub unsafe fn syscall1(nr: u64, a1: u64) -> u64 {
 /// See the [module docs](self).
 #[inline]
 pub unsafe fn syscall2(nr: u64, a1: u64, a2: u64) -> u64 {
+    if let Some(r) = gated(nr, a1, a2, 0, 0, 0, 0) {
+        return r;
+    }
     let ret;
     asm!(
         "syscall",
@@ -84,6 +149,9 @@ pub unsafe fn syscall2(nr: u64, a1: u64, a2: u64) -> u64 {
 /// See the [module docs](self).
 #[inline]
 pub unsafe fn syscall3(nr: u64, a1: u64, a2: u64, a3: u64) -> u64 {
+    if let Some(r) = gated(nr, a1, a2, a3, 0, 0, 0) {
+        return r;
+    }
     let ret;
     asm!(
         "syscall",
@@ -105,6 +173,9 @@ pub unsafe fn syscall3(nr: u64, a1: u64, a2: u64, a3: u64) -> u64 {
 /// See the [module docs](self).
 #[inline]
 pub unsafe fn syscall4(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64) -> u64 {
+    if let Some(r) = gated(nr, a1, a2, a3, a4, 0, 0) {
+        return r;
+    }
     let ret;
     asm!(
         "syscall",
@@ -127,6 +198,9 @@ pub unsafe fn syscall4(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64) -> u64 {
 /// See the [module docs](self).
 #[inline]
 pub unsafe fn syscall5(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> u64 {
+    if let Some(r) = gated(nr, a1, a2, a3, a4, a5, 0) {
+        return r;
+    }
     let ret;
     asm!(
         "syscall",
@@ -150,6 +224,9 @@ pub unsafe fn syscall5(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> 
 /// See the [module docs](self).
 #[inline]
 pub unsafe fn syscall6(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64, a6: u64) -> u64 {
+    if let Some(r) = gated(nr, a1, a2, a3, a4, a5, a6) {
+        return r;
+    }
     let ret;
     asm!(
         "syscall",
