@@ -58,6 +58,7 @@ fn with_stats(row: Json, stats: Option<&mechanism::StatsSnapshot>) -> Json {
             .field("ring_grows", Json::Int(s.ring_grows))
             .field("ring_near_full", Json::Int(s.ring_near_full))
             .field("drain_yields", Json::Int(s.drain_yields))
+            .field("drain_shards", Json::Int(s.drain_shards))
             .field("replay_divergences", Json::Int(s.replay_divergences))
             .field("bypass_blocked", Json::Int(s.bypass_blocked))
             .field("pkru_switches", Json::Int(s.pkru_switches)),

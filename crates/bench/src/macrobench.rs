@@ -1,9 +1,13 @@
 //! The native Figure 5 web-server macrobenchmark.
 //!
-//! For every (server flavour × worker count × file size × mechanism)
-//! cell, a fresh server process is forked, configured, and measured
-//! over localhost with the wrk-like keep-alive client — the paper's
-//! §V-B(b) setup scaled to this machine.
+//! For every (connection count × mechanism) cell, a fresh server
+//! process is forked, configured, and measured over localhost with the
+//! epoll-based **open-loop generator** ([`httpd::run_open_loop`]) —
+//! the paper's §V-B(b) setup scaled to this machine, extended with the
+//! throughput-vs-connections scaling curve and per-cell latency
+//! percentiles (p50/p99/p999 from the generator's HDR-style
+//! histogram, measured against the *scheduled* send time so
+//! coordinated omission does not flatter slow cells).
 //!
 //! Interposition rows are **mechanism registry names**
 //! ([`mechanism::by_name`]), not a private enum: the server child
@@ -20,19 +24,40 @@
 //!   extended-state preservation.
 //! * `sud` — the engine with lazy rewriting disabled: every syscall
 //!   takes the SIGSYS slow path (pure SUD interposition).
+//!
+//! The sweep additionally runs [`RECORD_MECHANISM`]
+//! (`lazypoline+record`): full interposition with the flight recorder
+//! live, an async trace writer, and a **sharded drain**
+//! (`LP_DRAIN_SHARDS=2` unless overridden) — the cell that proves
+//! recording keeps up with server load without dropping events. The
+//! server child reports its recorder counters back over the control
+//! pipe before teardown (`SIGTERM` → eventfd stop → stats line).
 
 use std::io::{self, Read, Write};
 use std::os::fd::FromRawFd;
-use std::sync::atomic::AtomicBool;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use httpd::{Docroot, Flavor, LoadConfig, Server, ServerConfig};
+use httpd::{Docroot, Flavor, LoadConfig, OpenLoopConfig, Server, ServerConfig, StopFlag};
+use mechanism::replay;
 
 use crate::{env_f64, env_u64};
 
 /// The Figure 5 interposition rows, as mechanism registry names, in
 /// presentation order.
 pub const MECHANISMS: [&str; 5] = ["none", "zpoline", "lazypoline-nox", "lazypoline", "sud"];
+
+/// The recording row: lazypoline with the flight recorder and a
+/// sharded async drain. Swept after [`MECHANISMS`].
+pub const RECORD_MECHANISM: &str = "lazypoline+record";
+
+/// All rows the default Figure 5 sweep runs.
+pub fn fig5_mechanisms() -> Vec<&'static str> {
+    let mut v = MECHANISMS.to_vec();
+    v.push(RECORD_MECHANISM);
+    v
+}
 
 /// One measured cell of Figure 5.
 #[derive(Clone, Debug)]
@@ -43,46 +68,255 @@ pub struct MacroCell {
     pub workers: usize,
     /// Served file size in bytes.
     pub size: usize,
+    /// Concurrent keep-alive connections the generator held open.
+    pub connections: usize,
     /// Mechanism registry name the server ran under.
     pub mechanism: &'static str,
     /// Measured requests per second.
     pub rps: f64,
+    /// Completed requests.
+    pub requests: u64,
     /// Client-observed errors.
     pub errors: u64,
+    /// Requests still in flight when the measurement window closed.
+    pub unfinished: u64,
+    /// Latency percentiles in nanoseconds (scheduled-send to last
+    /// response byte).
+    pub p50_ns: u64,
+    /// 99th percentile latency (ns).
+    pub p99_ns: u64,
+    /// 99.9th percentile latency (ns).
+    pub p999_ns: u64,
+    /// Recorder events pushed in the server child (0 unless the cell
+    /// ran a `+record` mechanism).
+    pub events_recorded: u64,
+    /// Recorder events dropped at full rings in the server child.
+    pub events_dropped: u64,
+    /// Drain shards the child's recorder ran with (1 = single drainer).
+    pub drain_shards: u64,
+    /// Events each drain shard spooled (`replay::shard_drained`).
+    pub shard_drained: Vec<u64>,
+}
+
+/// Parameters for one forked-server measurement.
+#[derive(Clone, Debug)]
+pub struct CellConfig {
+    /// Server flavour.
+    pub flavor: Flavor,
+    /// Worker processes.
+    pub workers: usize,
+    /// Served file size in bytes.
+    pub size: usize,
+    /// Mechanism registry name.
+    pub mechanism: &'static str,
+    /// Generator connections.
+    pub connections: usize,
+    /// Generator event-loop threads.
+    pub threads: usize,
+    /// Open-loop arrival rate in req/s (0.0 = saturation mode).
+    pub rate: f64,
+    /// Max in-flight requests per connection (saturation mode).
+    pub pipeline: usize,
+    /// Measured seconds.
+    pub secs: f64,
 }
 
 /// Sweep parameters (env-overridable).
 #[derive(Clone, Debug)]
 pub struct SweepConfig {
-    /// Server flavours to run.
-    pub flavors: Vec<Flavor>,
-    /// Worker counts (paper: 1 and 12).
-    pub worker_counts: Vec<usize>,
-    /// File sizes (paper: 64B–256KB).
-    pub sizes: Vec<usize>,
+    /// Server flavour (`lighttpd-like` by default: the leanest syscall
+    /// mix, so interposition overhead is most visible).
+    pub flavor: Flavor,
+    /// Worker processes (`LP_BENCH_WORKERS`).
+    pub workers: usize,
+    /// Served file size in bytes (`LP_BENCH_SIZE`).
+    pub size: usize,
+    /// Connection-count ladder, ascending (from `LP_BENCH_CONNS`).
+    pub connections: Vec<usize>,
     /// Mechanism registry names to sweep.
     pub mechanisms: Vec<&'static str>,
-    /// Measured seconds per cell.
+    /// Measured seconds per cell (`LP_BENCH_SECS`).
     pub secs: f64,
-    /// Client keep-alive connections.
-    pub connections: usize,
+    /// Generator threads (`LP_BENCH_THREADS`).
+    pub threads: usize,
+    /// Target arrival rate in req/s, 0 = saturation (`LP_BENCH_RATE`).
+    pub rate: f64,
+    /// Per-connection pipeline depth (`LP_BENCH_PIPELINE`).
+    pub pipeline: usize,
+}
+
+/// The scaling ladder: ¼ steps down from `max` (e.g. 1024 → 16, 64,
+/// 256, 1024), deduplicated for small maxima.
+pub fn conn_ladder(max: usize) -> Vec<usize> {
+    let mut ladder: Vec<usize> = [64usize, 16, 4, 1]
+        .iter()
+        .map(|d| (max / d).max(1))
+        .collect();
+    ladder.dedup();
+    ladder
 }
 
 impl Default for SweepConfig {
     fn default() -> SweepConfig {
         SweepConfig {
-            flavors: vec![Flavor::NginxLike, Flavor::LighttpdLike],
-            worker_counts: vec![1, env_u64("LP_BENCH_WORKERS", 12) as usize],
-            sizes: vec![64, 4 << 10, 64 << 10, 256 << 10],
-            mechanisms: MECHANISMS.to_vec(),
-            secs: env_f64("LP_BENCH_SECS", 1.5),
-            connections: env_u64("LP_BENCH_CONNS", 4) as usize,
+            flavor: Flavor::LighttpdLike,
+            workers: env_u64("LP_BENCH_WORKERS", 1) as usize,
+            // 64 B bodies: the paper's small-size regime, where
+            // per-request syscall cost (and thus interposition
+            // overhead) dominates the memcpy of the body.
+            size: env_u64("LP_BENCH_SIZE", 64) as usize,
+            connections: conn_ladder(env_u64("LP_BENCH_CONNS", 1024) as usize),
+            mechanisms: fig5_mechanisms(),
+            secs: env_f64("LP_BENCH_SECS", 2.0),
+            threads: env_u64("LP_BENCH_THREADS", 2) as usize,
+            rate: env_f64("LP_BENCH_RATE", 0.0),
+            pipeline: env_u64("LP_BENCH_PIPELINE", 16) as usize,
         }
     }
 }
 
+/// Recorder counters a server child reports back before teardown.
+#[derive(Clone, Debug, Default)]
+pub struct ChildStats {
+    /// `replay::events_recorded()` in the child at stop.
+    pub events_recorded: u64,
+    /// `replay::events_dropped()` in the child at stop.
+    pub events_dropped: u64,
+    /// `replay::drain_shards()` the child's recorder configured.
+    pub drain_shards: u64,
+    /// Per-shard spooled-event counts.
+    pub shard_drained: Vec<u64>,
+}
+
+/// Monotonic suffix for per-cell temp trace paths (several cells can
+/// run within one parent process).
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A forked, mechanism-installed server: the fork/pipe/teardown
+/// plumbing shared by every cell.
+struct ServerChild {
+    pid: i32,
+    port: u16,
+    /// Read end of the control pipe; the child sends its port at
+    /// startup and a stats line at shutdown.
+    pipe: std::fs::File,
+    /// Temp trace path for `+record` cells (cleaned up on stop).
+    trace: Option<PathBuf>,
+}
+
+impl ServerChild {
+    /// Forks a server child running `mech` and waits for its port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mech` is not a registered mechanism name.
+    fn spawn(
+        docroot: &Docroot,
+        flavor: Flavor,
+        workers: usize,
+        mech: &'static str,
+    ) -> io::Result<ServerChild> {
+        assert!(
+            mechanism::by_name(mech).is_some(),
+            "{mech} is not a registered mechanism"
+        );
+        // Recording needs a trace sink: without `LP_TRACE_OUT` the
+        // recorder has no drain thread and the rings overflow.
+        let trace = mech.ends_with("+record").then(|| {
+            std::env::temp_dir().join(format!(
+                "lp_fig5_{}_{}.lptrace",
+                std::process::id(),
+                TRACE_SEQ.fetch_add(1, Ordering::Relaxed),
+            ))
+        });
+        let (read_fd, write_fd) = pipe()?;
+
+        // SAFETY: standard fork; the child only uses async-signal-safe-ish
+        // setup before entering its own event loop.
+        let pid = unsafe { libc::fork() };
+        if pid < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if pid == 0 {
+            drop(read_fd);
+            server_child(docroot, flavor, workers, mech, write_fd, trace.as_deref());
+        }
+        drop(write_fd);
+
+        // Parent: learn the port.
+        let mut buf = [0u8; 2];
+        let mut r = read_fd;
+        r.read_exact(&mut buf)?;
+        let port = u16::from_le_bytes(buf);
+        Ok(ServerChild {
+            pid,
+            port,
+            pipe: r,
+            trace,
+        })
+    }
+
+    /// Detaches the (primed) child from SUD: the zpoline row's
+    /// measurement configuration.
+    fn detach_sud(&self) {
+        // SAFETY: signals our own child's process group.
+        unsafe { libc::kill(-self.pid, libc::SIGUSR1) };
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    /// Stops the child (SIGTERM → eventfd stop), reads its stats line,
+    /// and reaps the process group.
+    fn stop_and_stats(mut self) -> io::Result<ChildStats> {
+        // SIGTERM the master only: forked workers inherit the handler
+        // and a copy of the write fd, and must not race it for the
+        // stats line. The master SIGKILLs them before reporting.
+        unsafe { libc::kill(self.pid, libc::SIGTERM) };
+        let mut tail = String::new();
+        let _ = self.pipe.read_to_string(&mut tail);
+        unsafe {
+            libc::kill(-self.pid, libc::SIGKILL);
+            libc::waitpid(self.pid, std::ptr::null_mut(), 0);
+        }
+        if let Some(trace) = &self.trace {
+            cleanup_trace(trace);
+        }
+        Ok(parse_stats(&tail))
+    }
+}
+
+/// Parses the child's `stats <recorded> <dropped> <shards> <d0> ...`
+/// line; missing or malformed lines degrade to zeros (non-recording
+/// cells report zeros anyway).
+fn parse_stats(tail: &str) -> ChildStats {
+    let mut stats = ChildStats::default();
+    let Some(line) = tail.lines().rev().find(|l| l.starts_with("stats ")) else {
+        return stats;
+    };
+    let mut nums = line.split_whitespace().skip(1).map(|w| w.parse::<u64>());
+    let mut next = |d: &mut u64| {
+        if let Some(Ok(n)) = nums.next() {
+            *d = n;
+        }
+    };
+    next(&mut stats.events_recorded);
+    next(&mut stats.events_dropped);
+    next(&mut stats.drain_shards);
+    stats.shard_drained = nums.by_ref().map_while(Result::ok).collect();
+    stats
+}
+
+/// Removes a `+record` cell's temp trace and its per-shard spool
+/// files (the child is killed mid-session, so the spools survive it).
+fn cleanup_trace(trace: &Path) {
+    let _ = std::fs::remove_file(trace);
+    for shard in 0..replay::MAX_SHARDS {
+        let _ = std::fs::remove_file(trace.with_extension(format!("shard{shard}")));
+    }
+}
+
 /// Runs one cell: forks the server, installs the named mechanism in the
-/// child, measures throughput, and tears the server down.
+/// child, measures open-loop throughput and latency, and tears the
+/// server down (collecting its recorder counters).
 ///
 /// # Errors
 ///
@@ -90,98 +324,233 @@ impl Default for SweepConfig {
 ///
 /// # Panics
 ///
-/// Panics if `mech` is not a registered mechanism name.
-pub fn run_cell(
-    docroot: &Docroot,
-    flavor: Flavor,
-    workers: usize,
-    size: usize,
-    mech: &'static str,
-    secs: f64,
-    connections: usize,
-) -> io::Result<MacroCell> {
-    assert!(
-        mechanism::by_name(mech).is_some(),
-        "{mech} is not a registered mechanism"
-    );
-    let (read_fd, write_fd) = pipe()?;
-
-    // SAFETY: standard fork; the child only uses async-signal-safe-ish
-    // setup before entering its own event loop.
-    let pid = unsafe { libc::fork() };
-    if pid < 0 {
-        return Err(io::Error::last_os_error());
-    }
-    if pid == 0 {
-        drop(read_fd);
-        server_child(docroot, flavor, workers, mech, write_fd);
-    }
-    drop(write_fd);
-
-    // Parent: learn the port.
-    let mut buf = [0u8; 2];
-    let mut r = read_fd;
-    r.read_exact(&mut buf)?;
-    let port = u16::from_le_bytes(buf);
-
-    let path = httpd::docroot::path_for_size(size);
+/// Panics if `cfg.mechanism` is not a registered mechanism name.
+pub fn run_cell(docroot: &Docroot, cfg: &CellConfig) -> io::Result<MacroCell> {
+    let child = ServerChild::spawn(docroot, cfg.flavor, cfg.workers, cfg.mechanism)?;
+    let path = httpd::docroot::path_for_size(cfg.size);
 
     // Warmup: drives every hot syscall site at least once (rewriting).
     let _ = httpd::run_load(&LoadConfig {
-        port,
+        port: child.port,
         path: path.clone(),
         connections: 2,
         duration: Duration::from_millis(300),
     });
 
-    if mech == "zpoline" {
-        // Detach the primed server from SUD.
-        unsafe { libc::kill(-pid, libc::SIGUSR1) };
-        std::thread::sleep(Duration::from_millis(100));
+    if cfg.mechanism == "zpoline" {
+        child.detach_sud();
     }
 
-    let report = httpd::run_load(&LoadConfig {
-        port,
+    let report = httpd::run_open_loop(&OpenLoopConfig {
+        port: child.port,
         path,
-        connections,
-        duration: Duration::from_secs_f64(secs),
+        connections: cfg.connections,
+        threads: cfg.threads,
+        rate: cfg.rate,
+        pipeline: cfg.pipeline,
+        duration: Duration::from_secs_f64(cfg.secs),
     })?;
-
-    unsafe {
-        libc::kill(-pid, libc::SIGKILL);
-        libc::waitpid(pid, std::ptr::null_mut(), 0);
-    }
+    let stats = child.stop_and_stats()?;
 
     Ok(MacroCell {
-        flavor,
-        workers,
-        size,
-        mechanism: mech,
+        flavor: cfg.flavor,
+        workers: cfg.workers,
+        size: cfg.size,
+        connections: cfg.connections,
+        mechanism: cfg.mechanism,
         rps: report.rps(),
+        requests: report.requests,
         errors: report.errors,
+        unfinished: report.unfinished,
+        p50_ns: report.latency.percentile(0.50),
+        p99_ns: report.latency.percentile(0.99),
+        p999_ns: report.latency.percentile(0.999),
+        events_recorded: stats.events_recorded,
+        events_dropped: stats.events_dropped,
+        drain_shards: stats.drain_shards,
+        shard_drained: stats.shard_drained,
     })
 }
 
+/// Open-loop vs thread-per-connection generator throughput against the
+/// same uninstrumented server, at equal client thread count.
+#[derive(Clone, Debug)]
+pub struct GeneratorComparison {
+    /// Client threads both generators ran with.
+    pub threads: usize,
+    /// Connections the open-loop generator multiplexed over them.
+    pub connections: usize,
+    /// Open-loop saturation throughput.
+    pub open_loop_rps: f64,
+    /// Legacy closed-loop throughput (one thread per connection, so
+    /// `threads` connections).
+    pub closed_loop_rps: f64,
+    /// `open_loop_rps / closed_loop_rps`.
+    pub speedup: f64,
+}
+
+/// Measures both generators against a `none` server: the legacy
+/// thread-per-connection client ping-pongs one request per thread,
+/// the open-loop generator multiplexes the sweep's highest connection
+/// count over the same number of threads.
+///
+/// # Errors
+///
+/// I/O errors from the fork/pipe/load plumbing.
+pub fn run_generator_comparison(
+    docroot: &Docroot,
+    sweep: &SweepConfig,
+) -> io::Result<GeneratorComparison> {
+    let connections = sweep.connections.last().copied().unwrap_or(1);
+    let child = ServerChild::spawn(docroot, sweep.flavor, sweep.workers, "none")?;
+    let path = httpd::docroot::path_for_size(sweep.size);
+    let duration = Duration::from_secs_f64(sweep.secs);
+
+    let _ = httpd::run_load(&LoadConfig {
+        port: child.port,
+        path: path.clone(),
+        connections: 2,
+        duration: Duration::from_millis(300),
+    });
+
+    let closed = httpd::run_load(&LoadConfig {
+        port: child.port,
+        path: path.clone(),
+        connections: sweep.threads,
+        duration,
+    })?;
+    let open = httpd::run_open_loop(&OpenLoopConfig {
+        port: child.port,
+        path,
+        connections,
+        threads: sweep.threads,
+        rate: 0.0,
+        pipeline: sweep.pipeline,
+        duration,
+    })?;
+    child.stop_and_stats()?;
+
+    let closed_rps = closed.rps();
+    let open_rps = open.rps();
+    Ok(GeneratorComparison {
+        threads: sweep.threads,
+        connections,
+        open_loop_rps: open_rps,
+        closed_loop_rps: closed_rps,
+        speedup: if closed_rps > 0.0 {
+            open_rps / closed_rps
+        } else {
+            0.0
+        },
+    })
+}
+
+/// Everything the Figure 5 sweep measures.
+#[derive(Clone, Debug)]
+pub struct Fig5Results {
+    /// All (connections × mechanism) cells, in sweep order.
+    pub cells: Vec<MacroCell>,
+    /// The generator self-measurement.
+    pub comparison: GeneratorComparison,
+}
+
+/// Runs the whole Figure 5 sweep: the connection ladder against every
+/// mechanism row, then the generator comparison.
+///
+/// # Errors
+///
+/// Propagates the first cell failure.
+pub fn run_fig5(sweep: &SweepConfig) -> io::Result<Fig5Results> {
+    let docroot = Docroot::create(&[sweep.size])?;
+    let mut cells = Vec::new();
+    for &connections in &sweep.connections {
+        for &mech in &sweep.mechanisms {
+            let cell = run_cell(
+                &docroot,
+                &CellConfig {
+                    flavor: sweep.flavor,
+                    workers: sweep.workers,
+                    size: sweep.size,
+                    mechanism: mech,
+                    connections,
+                    threads: sweep.threads,
+                    rate: sweep.rate,
+                    pipeline: sweep.pipeline,
+                    secs: sweep.secs,
+                },
+            )?;
+            eprintln!(
+                "  {} w={} {}B c={} {}: {:.0} req/s p99={}us ({} errors, {} dropped)",
+                sweep.flavor.name(),
+                sweep.workers,
+                sweep.size,
+                connections,
+                mech,
+                cell.rps,
+                cell.p99_ns / 1_000,
+                cell.errors,
+                cell.events_dropped,
+            );
+            cells.push(cell);
+        }
+    }
+    let comparison = run_generator_comparison(&docroot, sweep)?;
+    eprintln!(
+        "  generators @ {} thread(s): open-loop {:.0} req/s ({} conns) vs closed-loop {:.0} req/s ({:.1}x)",
+        comparison.threads,
+        comparison.open_loop_rps,
+        comparison.connections,
+        comparison.closed_loop_rps,
+        comparison.speedup,
+    );
+    Ok(Fig5Results { cells, comparison })
+}
+
+/// The server child body: process-group leader, signal plumbing,
+/// mechanism install, then the event loop until SIGTERM.
 fn server_child(
     docroot: &Docroot,
     flavor: Flavor,
     workers: usize,
     mech: &'static str,
     mut write_fd: std::fs::File,
+    trace: Option<&Path>,
 ) -> ! {
     unsafe { libc::setpgid(0, 0) };
 
-    // SIGUSR1 = "drop out of SUD" (zpoline detach). Registered before
-    // the mechanism installs; the engine adopts it into the wrapper
-    // protocol.
+    // SIGUSR1 = "drop out of SUD" (zpoline detach), SIGTERM = "stop
+    // serving and report stats". Both registered before the mechanism
+    // installs; the engine adopts them into the wrapper protocol.
     unsafe {
         let mut sa: libc::sigaction = std::mem::zeroed();
         sa.sa_sigaction = sigusr1_unenroll as *const () as usize;
         sa.sa_flags = libc::SA_SIGINFO;
         libc::sigaction(libc::SIGUSR1, &sa, std::ptr::null_mut());
+        let mut term: libc::sigaction = std::mem::zeroed();
+        term.sa_sigaction = sigterm_stop as *const () as usize;
+        term.sa_flags = libc::SA_SIGINFO;
+        libc::sigaction(libc::SIGTERM, &term, std::ptr::null_mut());
     }
 
-    let backend = mechanism::by_name(mech).expect("validated by run_cell");
+    if let Some(path) = trace {
+        // Recording cell: point the recorder at the temp trace and
+        // default to a sharded drain (the cell exists to prove the
+        // recorder keeps up with server load without drops).
+        std::env::set_var(mechanism::TRACE_OUT_ENV, path);
+        if std::env::var_os(replay::DRAIN_SHARDS_ENV).is_none() {
+            std::env::set_var(replay::DRAIN_SHARDS_ENV, "2");
+        }
+        // On hosts with fewer cores than producer + drainer threads the
+        // drainers only run when the scheduler preempts the event loop,
+        // so the rings must absorb a full timeslice of events (~1 ms of
+        // saturated serving is >10k records). 64k records ≈ 5.6 MiB per
+        // hot ring — cheap insurance against overflow drops.
+        if std::env::var_os(replay::ring::LP_RING_CAPACITY).is_none() {
+            std::env::set_var(replay::ring::LP_RING_CAPACITY, "65536");
+        }
+    }
+
+    let backend = mechanism::by_name(mech).expect("validated by ServerChild::spawn");
     match backend.install(Box::new(interpose::PassthroughHandler)) {
         // The server runs under the mechanism until SIGKILL; never tear
         // down (teardown in the event loop would race in-flight
@@ -206,12 +575,31 @@ fn server_child(
     };
     let port = server.port();
     let _ = write_fd.write_all(&port.to_le_bytes());
-    drop(write_fd);
 
-    static NEVER: AtomicBool = AtomicBool::new(false);
-    let _ = server.run(&NEVER);
+    let _ = server.run(&STOP);
+
+    // Stopped via SIGTERM: report the recorder counters over the pipe
+    // (zeros when this cell never recorded). The drain threads are
+    // still sweeping, so per-shard counts may trail `recorded` by the
+    // in-ring residue; `dropped` is exact.
+    let mut stats = format!(
+        "stats {} {} {}",
+        replay::events_recorded(),
+        replay::events_dropped(),
+        replay::drain_shards(),
+    );
+    for shard in 0..replay::drain_shards() as usize {
+        stats.push_str(&format!(" {}", replay::shard_drained(shard)));
+    }
+    stats.push('\n');
+    let _ = write_fd.write_all(stats.as_bytes());
+    drop(write_fd);
     std::process::exit(0);
 }
+
+/// The child's stop flag: SIGTERM-driven, eventfd-backed so the
+/// blocked `epoll_wait` wakes immediately.
+static STOP: StopFlag = StopFlag::new();
 
 unsafe extern "C" fn sigusr1_unenroll(
     _sig: libc::c_int,
@@ -219,6 +607,15 @@ unsafe extern "C" fn sigusr1_unenroll(
     _ctx: *mut libc::c_void,
 ) {
     mechanism::detach_current_thread();
+}
+
+unsafe extern "C" fn sigterm_stop(
+    _sig: libc::c_int,
+    _info: *mut libc::siginfo_t,
+    _ctx: *mut libc::c_void,
+) {
+    // Async-signal-safe: an atomic store plus one eventfd write.
+    STOP.stop();
 }
 
 fn pipe() -> io::Result<(std::fs::File, std::fs::File)> {
@@ -236,51 +633,13 @@ fn pipe() -> io::Result<(std::fs::File, std::fs::File)> {
     }
 }
 
-/// Runs the whole Figure 5 sweep.
-///
-/// # Errors
-///
-/// Propagates the first cell failure.
-pub fn run_fig5(sweep: &SweepConfig) -> io::Result<Vec<MacroCell>> {
-    let docroot = Docroot::create(&sweep.sizes)?;
-    let mut cells = Vec::new();
-    for &flavor in &sweep.flavors {
-        for &workers in &sweep.worker_counts {
-            for &size in &sweep.sizes {
-                for &mech in &sweep.mechanisms {
-                    let cell = run_cell(
-                        &docroot,
-                        flavor,
-                        workers,
-                        size,
-                        mech,
-                        sweep.secs,
-                        sweep.connections,
-                    )?;
-                    eprintln!(
-                        "  {} w={} {}B {}: {:.0} req/s ({} errors)",
-                        flavor.name(),
-                        workers,
-                        size,
-                        mech,
-                        cell.rps,
-                        cell.errors,
-                    );
-                    cells.push(cell);
-                }
-            }
-        }
-    }
-    Ok(cells)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn mechanism_rows_are_registered() {
-        for mech in MECHANISMS {
+        for mech in fig5_mechanisms() {
             assert!(
                 mechanism::by_name(mech).is_some(),
                 "{mech} must resolve in the registry"
@@ -288,15 +647,39 @@ mod tests {
         }
         assert_eq!(MECHANISMS[0], "none");
         assert_eq!(MECHANISMS[4], "sud");
+        assert_eq!(fig5_mechanisms().last(), Some(&RECORD_MECHANISM));
+    }
+
+    #[test]
+    fn conn_ladder_scales_in_quarter_steps() {
+        assert_eq!(conn_ladder(1024), vec![16, 64, 256, 1024]);
+        assert_eq!(conn_ladder(64), vec![1, 4, 16, 64]);
+        assert_eq!(conn_ladder(8), vec![1, 2, 8]);
+        assert_eq!(conn_ladder(1), vec![1]);
     }
 
     #[test]
     fn default_sweep_is_sane() {
         let s = SweepConfig::default();
-        assert!(s.sizes.contains(&(256 << 10)));
-        assert_eq!(s.worker_counts[0], 1);
-        assert_eq!(s.mechanisms, MECHANISMS.to_vec());
+        assert!(!s.connections.is_empty());
+        assert!(s.connections.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.mechanisms.contains(&"lazypoline"));
+        assert!(s.mechanisms.contains(&RECORD_MECHANISM));
         assert!(s.secs > 0.0);
+        assert!(s.threads >= 1);
+        assert!(s.pipeline >= 1);
+    }
+
+    #[test]
+    fn stats_line_round_trips() {
+        let s = parse_stats("port junk\nstats 1000 0 2 400 600\n");
+        assert_eq!(s.events_recorded, 1000);
+        assert_eq!(s.events_dropped, 0);
+        assert_eq!(s.drain_shards, 2);
+        assert_eq!(s.shard_drained, vec![400, 600]);
+        let empty = parse_stats("");
+        assert_eq!(empty.events_recorded, 0);
+        assert_eq!(empty.shard_drained, Vec::<u64>::new());
     }
 
     // Full cells are exercised by the fig5 binary and an integration

@@ -1,0 +1,243 @@
+//! Log-bucketed latency histogram (HDR-style).
+//!
+//! The open-loop load generator records one latency sample per
+//! completed request — at saturation that is hundreds of thousands of
+//! samples per second across several event-loop threads, so the
+//! recording path must be O(1), allocation-free, and mergeable. The
+//! classic answer is a log-linear bucket layout: values are grouped by
+//! their power-of-two octave, and each octave is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, bounding the relative
+//! quantization error at `1 / SUB_BUCKETS` (~3%) everywhere across the
+//! full `u64` range — nanoseconds to hours in one fixed ~15 KiB array.
+//!
+//! Each generator thread owns a private histogram; [`Histogram::merge`]
+//! folds them into one (bucket-wise addition, lossless) from which
+//! [`Histogram::percentile`] reads p50/p99/p999. Merging never changes
+//! total count and merged percentiles always lie within the envelope
+//! of the per-thread percentiles — both properties are property-tested
+//! in `tests/hist_prop.rs`.
+
+/// Linear sub-buckets per power-of-two octave (2^5): relative
+/// quantization error ≤ 1/32 ≈ 3.1%.
+pub const SUB_BUCKETS: usize = 32;
+
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Total bucket count covering all of `u64`.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (the load
+/// generator stores nanoseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for `value`: identity below [`SUB_BUCKETS`], then
+/// log-linear (octave by leading zeros, sub-bucket by the next
+/// [`SUB_BITS`] bits).
+#[inline]
+fn index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let offset = ((value >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+    ((shift as usize + 1) << SUB_BITS) + offset
+}
+
+/// Lowest value mapping to bucket `i` (the bucket's representative
+/// lower bound).
+fn bucket_low(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        return i as u64;
+    }
+    let octave = (i >> SUB_BITS) as u32;
+    let offset = (i & (SUB_BUCKETS - 1)) as u64;
+    (SUB_BUCKETS as u64 + offset) << (octave - 1)
+}
+
+/// Exclusive upper bound of bucket `i`.
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        return i as u64 + 1;
+    }
+    let octave = (i >> SUB_BITS) as u32;
+    bucket_low(i).saturating_add(1u64 << (octave - 1))
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Records one sample. O(1), allocation-free.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[index(value)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Folds `other` into `self` (bucket-wise; lossless).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not quantized). 0 when empty.
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample (exact). 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the smallest bucket
+    /// boundary such that at least `q · count` samples fall at or below
+    /// it (midpoint of the containing bucket, clamped to the observed
+    /// min/max so quantization never reports beyond a real sample).
+    /// Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_low(i) + (bucket_high(i) - bucket_low(i)) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(p50, p99, p999)` in one pass-friendly call.
+    pub fn summary(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.percentile(0.999),
+        )
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("p50", &self.percentile(0.5))
+            .field("p99", &self.percentile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        // Every value maps into a bucket whose [low, high) contains it,
+        // and indexes never decrease with the value.
+        let mut prev = 0;
+        for v in (0..4096u64).chain((12..63).map(|s| (1u64 << s) + 12345 % (1 << s))) {
+            let i = index(v);
+            assert!(bucket_low(i) <= v && v < bucket_high(i), "v={v} i={i}");
+            assert!(i >= prev || v < 4096, "index monotonic");
+            prev = i;
+        }
+        assert!(index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn percentile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v * 1000); // 1ms .. 100s in µs-ish units
+        }
+        for (q, exact) in [(0.5, 50_000_000u64), (0.99, 99_000_000), (0.999, 99_900_000)] {
+            let got = h.percentile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.04, "q={q} got={got} exact={exact} err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_conserves_count_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3u64, 77, 1_000_000, 42] {
+            a.record(v);
+        }
+        for v in [9u64, 123_456_789, 5] {
+            b.record(v);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), a.count() + b.count());
+        assert_eq!(m.max(), 123_456_789);
+        assert_eq!(m.min(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.summary(), (0, 0, 0));
+    }
+}

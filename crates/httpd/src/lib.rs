@@ -18,17 +18,26 @@
 //! Multi-worker mode forks `N` worker processes sharing a listener via
 //! `SO_REUSEPORT`, like nginx's master/worker model.
 //!
-//! The [`wrk`] module is the measurement client: keep-alive
-//! connections hammering one resource for a fixed duration, reporting
-//! requests/sec — the same observable Figure 5 plots.
+//! The [`loadgen`] module is the measurement client: an epoll-based,
+//! multi-threaded **open-loop** generator multiplexing thousands of
+//! nonblocking keep-alive connections, recording per-request latency
+//! into the log-bucketed [`hist::Histogram`] (p50/p99/p999 per cell —
+//! the same observables Figure 5 plots, plus the tail the paper's
+//! mean-RPS table hides). The legacy closed-loop [`wrk`] client is
+//! kept as the comparison baseline the open-loop harness is measured
+//! against.
 
 #![deny(missing_docs)]
 
 pub mod docroot;
+pub mod hist;
 pub mod http;
+pub mod loadgen;
 pub mod server;
 pub mod wrk;
 
 pub use docroot::Docroot;
-pub use server::{Flavor, Server, ServerConfig};
+pub use hist::Histogram;
+pub use loadgen::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+pub use server::{Flavor, Server, ServerConfig, StopFlag};
 pub use wrk::{run_load, LoadConfig, LoadReport};

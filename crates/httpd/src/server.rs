@@ -1,14 +1,88 @@
 //! The epoll event-loop server.
+//!
+//! Scaled for the open-loop macrobenchmark: connections are registered
+//! **edge-triggered** with both `EPOLLIN | EPOLLOUT` armed once at
+//! accept time (no per-request `epoll_ctl(MOD)` to toggle write
+//! interest — one syscall per request saved), event batches are 1024
+//! entries, and shutdown is signaled through an [`eventfd`] registered
+//! in the epoll set, so `epoll_wait` blocks indefinitely instead of
+//! waking every 50 ms to poll a stop flag.
+//!
+//! [`eventfd`]: StopFlag
 
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpListener;
 use std::os::fd::{AsRawFd, RawFd};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
 
 use crate::http::{response_404, response_header, RequestBuffer};
+
+/// Cooperative, wakeup-capable stop signal for a worker event loop.
+///
+/// The flag half makes the state observable from anywhere; the eventfd
+/// half (registered by the worker into its epoll set) turns
+/// [`StopFlag::stop`] into an immediate `epoll_wait` wakeup, so the
+/// loop needs no timeout tick. `stop()` is async-signal-safe (an
+/// atomic store plus a `write(2)`), so a `SIGTERM` handler may call it
+/// directly — the benchmark harness does exactly that.
+///
+/// One worker loop registers per flag. With forked multi-worker
+/// servers each child has its own copy-on-write flag and is torn down
+/// by signal, as before; `stop()` wakes the worker in the calling
+/// process.
+#[derive(Debug)]
+pub struct StopFlag {
+    flag: AtomicBool,
+    efd: AtomicI32,
+}
+
+impl StopFlag {
+    /// A new, un-stopped flag (usable in statics).
+    pub const fn new() -> StopFlag {
+        StopFlag {
+            flag: AtomicBool::new(false),
+            efd: AtomicI32::new(-1),
+        }
+    }
+
+    /// Requests stop and wakes the registered worker. Safe to call
+    /// from a signal handler and more than once.
+    pub fn stop(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let efd = self.efd.load(Ordering::SeqCst);
+        if efd >= 0 {
+            let one: u64 = 1;
+            // SAFETY: write(2) on an eventfd; 8-byte counter add.
+            unsafe {
+                libc::write(efd, &one as *const u64 as *const libc::c_void, 8);
+            }
+        }
+    }
+
+    /// Whether stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    fn register(&self, efd: RawFd) {
+        self.efd.store(efd, Ordering::SeqCst);
+    }
+
+    /// Clears the registration *before* the worker closes the fd, so a
+    /// racing `stop()` cannot write into a recycled descriptor.
+    fn unregister(&self) {
+        self.efd.store(-1, Ordering::SeqCst);
+    }
+}
+
+impl Default for StopFlag {
+    fn default() -> StopFlag {
+        StopFlag::new()
+    }
+}
 
 /// Which real-world server's syscall mix to mimic (see crate docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,19 +147,19 @@ impl Server {
         self.port
     }
 
-    /// Runs the server until `stop` becomes true.
+    /// Runs the server until [`StopFlag::stop`] is called.
     ///
     /// With `workers > 1`, forks `workers - 1` additional processes,
-    /// each with its own `SO_REUSEPORT` listener (the nginx
-    /// master/worker model); the calling process becomes worker 0.
-    /// Forked workers exit when `stop` is observed (each process polls
-    /// its own copy-on-write view — in the benchmark harness workers
-    /// are simply killed with the parent).
+    /// each binding its own `SO_REUSEPORT` listener (the nginx
+    /// master/worker model — the kernel load-balances accepts across
+    /// the listeners); the calling process becomes worker 0. Forked
+    /// workers hold a copy-on-write view of `stop` and are torn down
+    /// by signal with the parent, as before.
     ///
     /// # Errors
     ///
     /// Propagates fork/socket/epoll errors from this process's setup.
-    pub fn run(self, stop: &AtomicBool) -> io::Result<()> {
+    pub fn run(self, stop: &StopFlag) -> io::Result<()> {
         let mut children = Vec::new();
         for _ in 1..self.config.workers {
             // SAFETY: plain fork; children diverge immediately into
@@ -117,13 +191,13 @@ impl Server {
     /// thread; returns `(port, stop flag, join handle)`.
     pub fn spawn_in_thread(
         config: ServerConfig,
-    ) -> io::Result<(u16, Arc<AtomicBool>, std::thread::JoinHandle<io::Result<()>>)> {
+    ) -> io::Result<(u16, Arc<StopFlag>, std::thread::JoinHandle<io::Result<()>>)> {
         let server = Server::bind(ServerConfig {
             workers: 1,
             ..config
         })?;
         let port = server.port();
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(StopFlag::new());
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::spawn(move || server.run(&stop2));
         Ok((port, stop, handle))
@@ -187,10 +261,14 @@ struct Conn {
     close_after_flush: bool,
 }
 
+/// `epoll_event.u64` token for the stop eventfd (fds are never this
+/// large).
+const STOP_TOKEN: u64 = u64::MAX;
+
 fn worker_loop(
     config: &ServerConfig,
     listener: TcpListener,
-    stop: &AtomicBool,
+    stop: &StopFlag,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let lfd = listener.as_raw_fd();
@@ -215,22 +293,49 @@ fn worker_loop(
         if ep < 0 {
             return Err(io::Error::last_os_error());
         }
-        epoll_add(ep, lfd, libc::EPOLLIN as u32)?;
+        // Stop eventfd: stop() writes, epoll_wait wakes; no timeout
+        // tick needed.
+        let efd = libc::eventfd(0, libc::EFD_NONBLOCK | libc::EFD_CLOEXEC);
+        if efd < 0 {
+            let e = io::Error::last_os_error();
+            libc::close(ep);
+            return Err(e);
+        }
+        let mut ev = libc::epoll_event {
+            events: libc::EPOLLIN as u32,
+            u64: STOP_TOKEN,
+        };
+        if libc::epoll_ctl(ep, libc::EPOLL_CTL_ADD, efd, &mut ev) != 0 {
+            let e = io::Error::last_os_error();
+            libc::close(efd);
+            libc::close(ep);
+            return Err(e);
+        }
+        stop.register(efd);
+        // Edge-triggered accept: accept_all drains to EAGAIN on every
+        // edge.
+        epoll_add(ep, lfd, (libc::EPOLLIN | libc::EPOLLET) as u32)?;
 
         let mut conns: HashMap<RawFd, Conn> = HashMap::new();
-        let mut events = vec![libc::epoll_event { events: 0, u64: 0 }; 256];
+        let mut events = vec![libc::epoll_event { events: 0, u64: 0 }; 1024];
         let mut scratch = vec![0u8; READ_CHUNK];
 
-        while !stop.load(Ordering::Relaxed) {
-            let n = libc::epoll_wait(ep, events.as_mut_ptr(), events.len() as i32, 50);
+        'event_loop: while !stop.is_stopped() {
+            let n = libc::epoll_wait(ep, events.as_mut_ptr(), events.len() as i32, -1);
             if n < 0 {
                 let e = io::Error::last_os_error();
                 if e.kind() == io::ErrorKind::Interrupted {
                     continue;
                 }
+                stop.unregister();
+                libc::close(efd);
+                libc::close(ep);
                 return Err(e);
             }
             for ev in &events[..n as usize] {
+                if ev.u64 == STOP_TOKEN {
+                    break 'event_loop;
+                }
                 let fd = ev.u64 as RawFd;
                 if fd == lfd {
                     accept_all(ep, lfd, &mut conns);
@@ -239,26 +344,22 @@ fn worker_loop(
                 let Some(conn) = conns.get_mut(&fd) else {
                     continue;
                 };
-                let mut dead = false;
-                if ev.events & libc::EPOLLIN as u32 != 0 {
+                // Edge-triggered: drain reads to EAGAIN, then push as
+                // much queued output as the socket takes. Write
+                // interest is always armed, so a short write simply
+                // resumes on the next EPOLLOUT edge — no epoll_mod.
+                let mut dead =
+                    ev.events & (libc::EPOLLHUP as u32 | libc::EPOLLERR as u32) != 0;
+                if !dead && ev.events & libc::EPOLLIN as u32 != 0 {
                     dead = handle_readable(config, &cache, conn, &mut scratch);
                 }
-                if !dead && ev.events & (libc::EPOLLOUT as u32 | libc::EPOLLIN as u32) != 0 {
+                if !dead {
                     dead = flush(conn);
                 }
-                if !dead {
-                    // Track write interest.
-                    let want_out = conn.outpos < conn.outbuf.len();
-                    let mut interest = libc::EPOLLIN as u32;
-                    if want_out {
-                        interest |= libc::EPOLLOUT as u32;
-                    }
-                    epoll_mod(ep, fd, interest).ok();
-                    if !want_out && conn.close_after_flush {
-                        dead = true;
-                    }
+                if !dead && conn.close_after_flush && conn.outpos >= conn.outbuf.len() {
+                    dead = true;
                 }
-                if dead || ev.events & (libc::EPOLLHUP as u32 | libc::EPOLLERR as u32) != 0 {
+                if dead {
                     libc::epoll_ctl(ep, libc::EPOLL_CTL_DEL, fd, std::ptr::null_mut());
                     libc::close(fd);
                     conns.remove(&fd);
@@ -268,6 +369,8 @@ fn worker_loop(
         for (&fd, _) in conns.iter() {
             libc::close(fd);
         }
+        stop.unregister();
+        libc::close(efd);
         libc::close(ep);
     }
     Ok(())
@@ -292,7 +395,15 @@ unsafe fn accept_all(ep: RawFd, lfd: RawFd, conns: &mut HashMap<RawFd, Conn>) {
             &one as *const _ as *const libc::c_void,
             std::mem::size_of::<libc::c_int>() as u32,
         );
-        if epoll_add(ep, fd, libc::EPOLLIN as u32).is_err() {
+        // Register once, edge-triggered, with both directions armed —
+        // write interest never needs toggling again.
+        if epoll_add(
+            ep,
+            fd,
+            (libc::EPOLLIN | libc::EPOLLOUT | libc::EPOLLET) as u32,
+        )
+        .is_err()
+        {
             libc::close(fd);
             continue;
         }
@@ -437,17 +548,6 @@ unsafe fn epoll_add(ep: RawFd, fd: RawFd, events: u32) -> io::Result<()> {
     Ok(())
 }
 
-unsafe fn epoll_mod(ep: RawFd, fd: RawFd, events: u32) -> io::Result<()> {
-    let mut ev = libc::epoll_event {
-        events,
-        u64: fd as u64,
-    };
-    if libc::epoll_ctl(ep, libc::EPOLL_CTL_MOD, fd, &mut ev) != 0 {
-        return Err(io::Error::last_os_error());
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,7 +588,7 @@ mod tests {
             let resp = request_once(port, "/missing");
             assert!(resp.starts_with(b"HTTP/1.1 404"), "{flavor:?}");
 
-            stop.store(true, Ordering::SeqCst);
+            stop.stop();
             handle.join().unwrap().unwrap();
         }
     }
@@ -518,8 +618,30 @@ mod tests {
             assert_eq!(body, pattern(64));
         }
         drop(s);
-        stop.store(true, Ordering::SeqCst);
+        stop.stop();
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stop_wakes_idle_worker_immediately() {
+        let root = Docroot::create(&[64]).unwrap();
+        let (_port, stop, handle) = Server::spawn_in_thread(ServerConfig {
+            flavor: Flavor::LighttpdLike,
+            workers: 1,
+            docroot: root.path().to_path_buf(),
+        })
+        .unwrap();
+        // No traffic at all: the worker is parked in epoll_wait with
+        // an infinite timeout. stop() must wake it via the eventfd.
+        let t0 = std::time::Instant::now();
+        stop.stop();
+        handle.join().unwrap().unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(2),
+            "stop took {:?}",
+            t0.elapsed()
+        );
+        assert!(stop.is_stopped());
     }
 
     #[test]

@@ -1,6 +1,15 @@
 //! wrk-like keep-alive load generator (paper §V-B(b): "we used the wrk
 //! client […] to continuously request the same static resource […] via
 //! a keepalive connection").
+//!
+//! **Legacy comparison client.** This is the original closed-loop,
+//! thread-per-connection generator: each connection is a blocking
+//! thread that ping-pongs one request at a time, so offered load drops
+//! whenever the server stalls (coordinated omission) and concurrency
+//! is capped by thread count. The macrobenchmark now drives load with
+//! the epoll-based open-loop generator in [`crate::loadgen`]; this
+//! module is kept so `BENCH_fig5.json` can report the generator
+//! speedup (`fig5` runs both at the highest connection count).
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -221,7 +230,7 @@ mod tests {
         })
         .unwrap();
 
-        stop.store(true, Ordering::SeqCst);
+        stop.stop();
         handle.join().unwrap().unwrap();
 
         assert!(report.requests > 10, "too slow: {report:?}");
@@ -276,7 +285,7 @@ mod large_tests {
             duration: std::time::Duration::from_millis(500),
         })
         .unwrap();
-        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        stop.stop();
         handle.join().unwrap().unwrap();
         assert_eq!(report.errors, 0, "{report:?}");
         assert!(report.requests > 5, "{report:?}");

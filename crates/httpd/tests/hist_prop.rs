@@ -1,0 +1,125 @@
+//! Property tests for the latency histogram: merging per-thread
+//! histograms (exactly what the open-loop generator does at join time)
+//! must conserve counts and extremes, and the merged percentiles must
+//! stay bracketed by the per-shard percentiles and the exact sample
+//! quantiles, up to the documented ~3% log-bucket resolution.
+
+use proptest::prelude::*;
+
+use lp_httpd::Histogram;
+
+fn filled(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact sample quantile with the histogram's rank convention
+/// (`rank = ceil(q * n)`, clamped to at least 1).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Two log-linear buckets of slack (bucket width is ~1/32 of the
+/// value, so this is a ~6% + 2 envelope): comparisons between a
+/// bucketed percentile and any exact value must allow it.
+fn slack(v: u64) -> u64 {
+    v / 16 + 2
+}
+
+proptest! {
+    /// Merging shard histograms conserves the total count, the min,
+    /// and the max — the generator's per-thread join must lose nothing.
+    #[test]
+    fn merge_conserves_count_and_extremes(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000_000_000, 0..200),
+            1..6,
+        ),
+    ) {
+        let mut merged = Histogram::new();
+        for values in &shards {
+            merged.merge(&filled(values));
+        }
+        let all: Vec<u64> = shards.iter().flatten().copied().collect();
+        prop_assert_eq!(merged.count(), all.len() as u64);
+        if !all.is_empty() {
+            prop_assert_eq!(merged.min(), *all.iter().min().unwrap());
+            prop_assert_eq!(merged.max(), *all.iter().max().unwrap());
+        }
+    }
+
+    /// A merged percentile lies within the bracket spanned by the
+    /// per-shard percentiles (same bucketing on both sides, so up to
+    /// bucket-width slack): merging can never invent a tail beyond the
+    /// worst shard or hide one below the best.
+    #[test]
+    fn merged_percentiles_bracket_per_shard(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(1u64..1_000_000_000_000, 1..200),
+            2..5,
+        ),
+        q_pct in 1u32..100,
+    ) {
+        let q = f64::from(q_pct) / 100.0;
+        let mut merged = Histogram::new();
+        let mut shard_ps = Vec::new();
+        for values in &shards {
+            let h = filled(values);
+            shard_ps.push(h.percentile(q));
+            merged.merge(&h);
+        }
+        let p = merged.percentile(q);
+        let lo = *shard_ps.iter().min().unwrap();
+        let hi = *shard_ps.iter().max().unwrap();
+        prop_assert!(
+            p + slack(p) >= lo,
+            "merged p{q} = {p} below shard bracket [{lo}, {hi}]"
+        );
+        prop_assert!(
+            p <= hi + slack(hi),
+            "merged p{q} = {p} above shard bracket [{lo}, {hi}]"
+        );
+    }
+
+    /// The bucketed percentile tracks the exact sample quantile within
+    /// the log-bucket resolution, whether recorded directly or merged.
+    #[test]
+    fn percentile_tracks_exact_quantile(
+        values in proptest::collection::vec(1u64..1_000_000_000_000, 1..300),
+        q_pct in 1u32..100,
+    ) {
+        let q = f64::from(q_pct) / 100.0;
+        let h = filled(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let approx = h.percentile(q);
+        prop_assert!(
+            approx + slack(exact) >= exact && approx <= exact + slack(exact),
+            "p{q}: approx {approx} vs exact {exact}"
+        );
+    }
+
+    /// Percentiles are monotone in `q` and pinned to the recorded
+    /// range at the ends.
+    #[test]
+    fn percentiles_are_monotone(
+        values in proptest::collection::vec(1u64..1_000_000_000_000, 1..300),
+    ) {
+        let h = filled(&values);
+        let qs = [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(
+                h.percentile(w[0]) <= h.percentile(w[1]),
+                "p{} > p{}", w[0], w[1]
+            );
+        }
+        let top = h.percentile(1.0);
+        prop_assert!(top <= h.max() && top + slack(top) >= h.max());
+        prop_assert!(h.percentile(0.01) >= h.min());
+    }
+}

@@ -1,0 +1,187 @@
+//! Server state-machine tests over real sockets: the edge-triggered
+//! event loop must survive requests dribbled in at arbitrary byte
+//! boundaries, cut off header floods, and resume large responses
+//! across send-buffer backpressure (mid-response `EAGAIN`).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::FromRawFd;
+use std::time::Duration;
+
+use lp_httpd::docroot::{path_for_size, pattern, Docroot};
+use lp_httpd::http::get_request;
+use lp_httpd::{Flavor, Server, ServerConfig};
+
+fn spawn(
+    sizes: &[usize],
+    flavor: Flavor,
+) -> (
+    Docroot,
+    u16,
+    std::sync::Arc<lp_httpd::StopFlag>,
+    std::thread::JoinHandle<io::Result<()>>,
+) {
+    let root = Docroot::create(sizes).unwrap();
+    let (port, stop, handle) = Server::spawn_in_thread(ServerConfig {
+        flavor,
+        workers: 1,
+        docroot: root.path().to_path_buf(),
+    })
+    .unwrap();
+    (root, port, stop, handle)
+}
+
+/// Reads exactly one `HTTP/1.1` response (header + `Content-Length`
+/// body) off the stream and returns (status line, body).
+fn read_response(s: &mut TcpStream) -> (String, Vec<u8>) {
+    let mut hdr = Vec::new();
+    let mut byte = [0u8; 1];
+    while !hdr.ends_with(b"\r\n\r\n") {
+        s.read_exact(&mut byte).expect("header byte");
+        hdr.push(byte[0]);
+        assert!(hdr.len() < 8192, "runaway header");
+    }
+    let text = String::from_utf8_lossy(&hdr);
+    let status = text.lines().next().unwrap_or_default().to_string();
+    let len: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length")
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).expect("body");
+    (status, body)
+}
+
+#[test]
+fn pipelined_requests_survive_arbitrary_byte_splits() {
+    let (_root, port, stop, handle) = spawn(&[256], Flavor::LighttpdLike);
+    let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    s.set_nodelay(true).unwrap();
+
+    // 8 pipelined keep-alive requests as one byte stream, dribbled in
+    // rotating odd-sized chunks so every request is split mid-line,
+    // mid-header, and across request boundaries.
+    const REQUESTS: usize = 8;
+    let mut stream = Vec::new();
+    for _ in 0..REQUESTS {
+        stream.extend_from_slice(&get_request(&path_for_size(256), true));
+    }
+    let chunk_sizes = [1usize, 2, 3, 5, 7, 11, 13];
+    let mut off = 0;
+    let mut i = 0;
+    while off < stream.len() {
+        let n = chunk_sizes[i % chunk_sizes.len()].min(stream.len() - off);
+        s.write_all(&stream[off..off + n]).unwrap();
+        off += n;
+        i += 1;
+        // Give the event loop a chance to see each fragment as its own
+        // readable edge (best effort; coalesced fragments are fine too).
+        if i % 4 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    for r in 0..REQUESTS {
+        let (status, body) = read_response(&mut s);
+        assert!(status.starts_with("HTTP/1.1 200"), "request {r}: {status}");
+        assert_eq!(body, pattern(256), "request {r} body");
+    }
+
+    drop(s);
+    stop.stop();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_header_flood_is_cut_off() {
+    let (_root, port, stop, handle) = spawn(&[64], Flavor::LighttpdLike);
+    let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // 96 KiB of header bytes with no terminator: past the 64 KiB guard
+    // the server must drop the connection without ever responding. The
+    // write side may fail once the server closes (EPIPE/reset) — that
+    // is the expected cut-off, not a test failure.
+    let junk = vec![b'x'; 96 * 1024];
+    let _ = s.write_all(&junk);
+    let _ = s.flush();
+
+    let mut buf = [0u8; 512];
+    let got = loop {
+        match s.read(&mut buf) {
+            Ok(0) => break 0,                   // clean FIN
+            Ok(n) => break n,                   // would be a bogus response
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => break 0,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+    };
+    assert_eq!(got, 0, "server must not answer a header flood");
+
+    stop.stop();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn large_responses_resume_after_send_backpressure() {
+    const SIZE: usize = 1 << 20;
+    const REQUESTS: usize = 8;
+    let (_root, port, stop, handle) = spawn(&[SIZE], Flavor::LighttpdLike);
+
+    // A connection with a tiny receive buffer: 8 pipelined 1 MiB
+    // responses (8 MiB total) cannot fit in the server's send buffer,
+    // so its write path hits EAGAIN mid-response and must resume off
+    // later EPOLLOUT edges with no epoll_ctl toggling.
+    let fd = unsafe { libc::socket(libc::AF_INET, libc::SOCK_STREAM, 0) };
+    assert!(fd >= 0);
+    let sz: libc::c_int = 4096;
+    unsafe {
+        libc::setsockopt(
+            fd,
+            libc::SOL_SOCKET,
+            libc::SO_RCVBUF,
+            &sz as *const _ as *const libc::c_void,
+            std::mem::size_of::<libc::c_int>() as u32,
+        );
+    }
+    let mut s = unsafe { TcpStream::from_raw_fd(fd) };
+    let addr = libc::sockaddr_in {
+        sin_family: libc::AF_INET as u16,
+        sin_port: port.to_be(),
+        sin_addr: libc::in_addr {
+            s_addr: u32::from_ne_bytes([127, 0, 0, 1]),
+        },
+        sin_zero: [0; 8],
+    };
+    let rc = unsafe {
+        libc::connect(
+            fd,
+            &addr as *const _ as *const libc::sockaddr,
+            std::mem::size_of::<libc::sockaddr_in>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "connect: {}", io::Error::last_os_error());
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    for _ in 0..REQUESTS {
+        s.write_all(&get_request(&path_for_size(SIZE), true)).unwrap();
+    }
+    // Let the server run into EAGAIN and park back into epoll_wait
+    // with the remainder still queued.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let expect = pattern(SIZE);
+    for r in 0..REQUESTS {
+        let (status, body) = read_response(&mut s);
+        assert!(status.starts_with("HTTP/1.1 200"), "response {r}: {status}");
+        assert_eq!(body.len(), SIZE, "response {r} length");
+        assert!(body == expect, "response {r} body corrupted");
+    }
+
+    drop(s);
+    stop.stop();
+    handle.join().unwrap().unwrap();
+}

@@ -43,6 +43,8 @@ pub type sighandler_t = usize;
 pub const EPERM: c_int = 1;
 pub const EINVAL: c_int = 22;
 pub const ENOSYS: c_int = 38;
+pub const ENOTCONN: c_int = 107;
+pub const EINPROGRESS: c_int = 115;
 
 // ——— memory protection / mmap ————————————————————————————————————————
 
@@ -68,6 +70,7 @@ pub const F_DUPFD_CLOEXEC: c_int = 1030;
 pub const SIGKILL: c_int = 9;
 pub const SIGUSR1: c_int = 10;
 pub const SIGUSR2: c_int = 12;
+pub const SIGTERM: c_int = 15;
 pub const SIGSTOP: c_int = 19;
 pub const SIGSYS: c_int = 31;
 
@@ -172,6 +175,7 @@ pub const SOCK_STREAM: c_int = 1;
 pub const SOCK_NONBLOCK: c_int = 0x800;
 pub const SOL_SOCKET: c_int = 1;
 pub const SO_REUSEADDR: c_int = 2;
+pub const SO_RCVBUF: c_int = 8;
 pub const SO_REUSEPORT: c_int = 15;
 pub const IPPROTO_TCP: c_int = 6;
 pub const TCP_NODELAY: c_int = 1;
@@ -204,10 +208,18 @@ pub const EPOLLIN: c_int = 0x1;
 pub const EPOLLOUT: c_int = 0x4;
 pub const EPOLLERR: c_int = 0x8;
 pub const EPOLLHUP: c_int = 0x10;
+/// Edge-triggered (kernel bit 31; negative as a `c_int`, exactly like
+/// upstream libc's value).
+pub const EPOLLET: c_int = 0x8000_0000_u32 as c_int;
 
 pub const EPOLL_CTL_ADD: c_int = 1;
 pub const EPOLL_CTL_DEL: c_int = 2;
 pub const EPOLL_CTL_MOD: c_int = 3;
+
+// ——— eventfd —————————————————————————————————————————————————————————
+
+pub const EFD_CLOEXEC: c_int = 0x80000;
+pub const EFD_NONBLOCK: c_int = 0x800;
 
 /// Packed on x86-64, matching the kernel's `__attribute__((packed))`.
 #[repr(C, packed)]
@@ -268,6 +280,7 @@ extern "C" {
     pub fn pthread_sigmask(how: c_int, set: *const sigset_t, oldset: *mut sigset_t) -> c_int;
 
     pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    pub fn connect(fd: c_int, addr: *const sockaddr, addrlen: socklen_t) -> c_int;
     pub fn bind(fd: c_int, addr: *const sockaddr, addrlen: socklen_t) -> c_int;
     pub fn listen(fd: c_int, backlog: c_int) -> c_int;
     pub fn accept4(
@@ -283,6 +296,8 @@ extern "C" {
         optval: *const c_void,
         optlen: socklen_t,
     ) -> c_int;
+
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
 
     pub fn epoll_create1(flags: c_int) -> c_int;
     pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;

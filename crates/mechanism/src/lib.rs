@@ -56,6 +56,7 @@ mod record_replay;
 mod sim;
 
 use interpose::SyscallHandler;
+pub use record_replay::TRACE_OUT_ENV;
 pub use replay;
 pub use sim_interpose::{Efficiency, Expressiveness, Traits};
 pub use zpoline::XstateMask;
@@ -187,6 +188,9 @@ pub struct StatsSnapshot {
     pub ring_near_full: u64,
     /// Near-full pushes that yielded the producer (`LP_DRAIN_YIELD`).
     pub drain_yields: u64,
+    /// Drainer threads partitioning the ring pool in the most recent
+    /// recorder session (1 = single drainer; `LP_DRAIN_SHARDS`).
+    pub drain_shards: u64,
     /// Escape attempts the hardened backstop caught (nonzero only
     /// under `lazypoline-hardened` / `sim:lazypoline-hardened`).
     pub bypass_blocked: u64,

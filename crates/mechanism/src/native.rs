@@ -303,6 +303,8 @@ impl NativeActive {
         s.ring_grows = now.ring_grows.saturating_sub(self.base.ring_grows);
         s.ring_near_full = now.ring_near_full.saturating_sub(self.base.ring_near_full);
         s.drain_yields = now.drain_yields.saturating_sub(self.base.drain_yields);
+        // A configuration value, not a counter: report it as-is.
+        s.drain_shards = now.drain_shards;
         match &self.kind {
             NativeKind::Nothing | NativeKind::SudAllow => {}
             NativeKind::RawSud { .. } => {

@@ -175,6 +175,8 @@ impl SimActive {
         s.ring_near_full = replay::ring::total_near_full().saturating_sub(self.base_near_full);
         s.drain_yields =
             replay::ring::total_drain_yields().saturating_sub(self.base_drain_yields);
+        // A configuration value, not a counter: report it as-is.
+        s.drain_shards = replay::drain_shards();
         s
     }
 }

@@ -32,7 +32,7 @@
 #![deny(missing_docs)]
 
 pub mod codec;
-mod drain;
+pub mod drain;
 mod event;
 pub mod format;
 mod record;
@@ -45,9 +45,10 @@ pub use format::{
     dump_trace, read_trace, read_trace_path, render_record, TraceError, TraceHeader, TraceWriter,
     HEADER_SIZE, MAGIC, MAGIC2, VERSION, VERSION2,
 };
+pub use drain::{shard_drained, MAX_SHARDS};
 pub use record::{
-    events_dropped, events_recorded, events_spilled, RecordHandler, RecordSummary, Recorder,
-    DRAIN_ENV, TRACE_FORMAT_ENV,
+    drain_shards, events_dropped, events_recorded, events_spilled, RecordHandler, RecordSummary,
+    Recorder, DRAIN_ENV, DRAIN_SHARDS_ENV, TRACE_FORMAT_ENV,
 };
 pub use ring::RingConfigError;
 pub use replay::{

@@ -26,6 +26,23 @@ pub const TRACE_FORMAT_ENV: &str = "LP_TRACE_FORMAT";
 /// `sync` restores the drain-at-phase-boundaries behavior.
 pub const DRAIN_ENV: &str = "LP_DRAIN";
 
+/// Environment variable selecting how many drainer threads partition
+/// the ring pool (async mode only): unset or `1` keeps the single
+/// drainer; `2..=16` shard the pool, each shard spilling to its own
+/// side spool merged into the trace at finish. See
+/// [`drain`](crate::drain)'s module docs.
+pub const DRAIN_SHARDS_ENV: &str = "LP_DRAIN_SHARDS";
+
+/// Drainer shard count of the most recent recorder session (1 when
+/// unsharded; persists after the session for stats reporting).
+static CONFIGURED_SHARDS: AtomicU64 = AtomicU64::new(1);
+
+/// Drainer shard count configured for the current/most recent
+/// recording session (1 = single drainer).
+pub fn drain_shards() -> u64 {
+    CONFIGURED_SHARDS.load(Ordering::Relaxed)
+}
+
 /// Events successfully recorded into a ring (process lifetime).
 static EVENTS_RECORDED: AtomicU64 = AtomicU64::new(0);
 
@@ -253,6 +270,11 @@ enum Mode {
         /// `None` once finished.
         handle: Option<drain::DrainHandle<TraceOut>>,
     },
+    /// M drainer threads partition the ring pool (`LP_DRAIN_SHARDS`).
+    Sharded {
+        /// `None` once finished.
+        handle: Option<drain::ShardedDrainHandle<TraceOut>>,
+    },
 }
 
 /// A recording session: owns the trace file, spills the
@@ -313,6 +335,28 @@ impl Recorder {
                 ))
             }
         };
+        let shards = match std::env::var(DRAIN_SHARDS_ENV) {
+            Err(_) => 1,
+            Ok(s) if s.is_empty() => 1,
+            Ok(s) => match s.parse::<usize>() {
+                Ok(n) if (1..=drain::MAX_SHARDS).contains(&n) => n,
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "{DRAIN_SHARDS_ENV}={s:?}: expected 1..={}",
+                            drain::MAX_SHARDS
+                        ),
+                    ))
+                }
+            },
+        };
+        if shards > 1 && !async_drain {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{DRAIN_SHARDS_ENV}>1 requires {DRAIN_ENV}=async"),
+            ));
+        }
 
         if SESSION_ACTIVE.swap(true, Ordering::AcqRel) {
             return Err(io::Error::other("another recording session is active"));
@@ -334,7 +378,12 @@ impl Recorder {
             TraceOut::Buffered(BufWriter::new(File::create(path).map_err(release_on)?))
         };
         let writer = TraceWriter::new(sink, &header).map_err(release_on)?;
-        let mode = if async_drain {
+        CONFIGURED_SHARDS.store(shards as u64, Ordering::Relaxed);
+        let mode = if shards > 1 {
+            Mode::Sharded {
+                handle: Some(drain::spawn_sharded(writer, shards, path).map_err(release_on)?),
+            }
+        } else if async_drain {
             Mode::Async {
                 handle: Some(drain::spawn(writer).map_err(release_on)?),
             }
@@ -389,6 +438,16 @@ impl Recorder {
                 }
             }
             Mode::Async { handle } => {
+                let handle = handle.take()?;
+                match handle.stop() {
+                    Ok(w) => w,
+                    Err(e) => {
+                        SESSION_ACTIVE.store(false, Ordering::Release);
+                        return Some(Err(e));
+                    }
+                }
+            }
+            Mode::Sharded { handle } => {
                 let handle = handle.take()?;
                 match handle.stop() {
                     Ok(w) => w,

@@ -1,16 +1,30 @@
 //! One full Figure-5 cell end-to-end in the test suite: fork a server
-//! under each mechanism row (by registry name), measure briefly,
-//! assert functional correctness (throughput > 0, no protocol
-//! errors).
+//! under each mechanism row (by registry name), measure briefly with
+//! the open-loop generator, assert functional correctness (throughput
+//! > 0, no protocol errors, recorder conservation on the record row).
 //!
 //! This is the machinery test; the real measurement runs live in
 //! `cargo run -p lp-bench --bin fig5 --release`.
 
-use httpd::{Docroot, Flavor, Server, ServerConfig};
-use lp_bench::macrobench::{run_cell, MECHANISMS};
+use httpd::{Docroot, Flavor, Server, ServerConfig, StopFlag};
+use lp_bench::macrobench::{run_cell, CellConfig, MECHANISMS, RECORD_MECHANISM};
 
 fn environment_ready() -> bool {
     zpoline::Trampoline::environment_supported() && sud::is_supported()
+}
+
+fn quick_cell(mech: &'static str, size: usize) -> CellConfig {
+    CellConfig {
+        flavor: Flavor::LighttpdLike,
+        workers: 1,
+        size,
+        mechanism: mech,
+        connections: 8,
+        threads: 2,
+        rate: 0.0,
+        pipeline: 2,
+        secs: 0.4,
+    }
 }
 
 #[test]
@@ -21,19 +35,44 @@ fn every_interposition_config_serves_correctly() {
     }
     let docroot = Docroot::create(&[4096]).unwrap();
     for mech in MECHANISMS {
-        let cell = run_cell(
-            &docroot,
-            Flavor::LighttpdLike,
-            1,
-            4096,
-            mech,
-            0.4,
-            2,
-        )
-        .unwrap_or_else(|e| panic!("{mech}: {e}"));
+        let cell = run_cell(&docroot, &quick_cell(mech, 4096))
+            .unwrap_or_else(|e| panic!("{mech}: {e}"));
         assert!(cell.rps > 50.0, "{mech}: implausibly low rps {}", cell.rps);
         assert_eq!(cell.errors, 0, "{mech}: protocol errors");
+        assert!(
+            cell.p50_ns > 0 && cell.p50_ns <= cell.p99_ns && cell.p99_ns <= cell.p999_ns,
+            "{mech}: implausible percentiles {} {} {}",
+            cell.p50_ns,
+            cell.p99_ns,
+            cell.p999_ns
+        );
     }
+}
+
+#[test]
+fn record_row_reports_conserved_recorder_counters() {
+    if !environment_ready() {
+        eprintln!("skipping: needs SUD + vm.mmap_min_addr=0");
+        return;
+    }
+    // The recording cell must actually record (the server's syscalls
+    // flow into the rings), must not drop, and must run the sharded
+    // drain it defaults to.
+    let docroot = Docroot::create(&[4096]).unwrap();
+    let cell = run_cell(&docroot, &quick_cell(RECORD_MECHANISM, 4096)).unwrap();
+    assert!(cell.rps > 50.0, "rps {}", cell.rps);
+    assert_eq!(cell.errors, 0);
+    assert!(
+        cell.events_recorded > 0,
+        "recording server produced no events"
+    );
+    assert_eq!(cell.events_dropped, 0, "recorder dropped events");
+    assert!(
+        cell.drain_shards >= 2,
+        "record row should default to a sharded drain, got {}",
+        cell.drain_shards
+    );
+    assert_eq!(cell.shard_drained.len(), cell.drain_shards as usize);
 }
 
 #[test]
@@ -48,12 +87,17 @@ fn multiworker_server_under_lazypoline() {
     let docroot = Docroot::create(&[1024]).unwrap();
     let cell = run_cell(
         &docroot,
-        Flavor::NginxLike,
-        3,
-        1024,
-        "lazypoline",
-        0.5,
-        3,
+        &CellConfig {
+            flavor: Flavor::NginxLike,
+            workers: 3,
+            size: 1024,
+            mechanism: "lazypoline",
+            connections: 6,
+            threads: 2,
+            rate: 0.0,
+            pipeline: 2,
+            secs: 0.5,
+        },
     )
     .unwrap();
     assert!(cell.rps > 50.0, "rps {}", cell.rps);
@@ -108,8 +152,7 @@ fn content_integrity_under_interposition() {
             .unwrap();
             w.write_all(&server.port().to_le_bytes()).unwrap();
             drop(w);
-            static NEVER: std::sync::atomic::AtomicBool =
-                std::sync::atomic::AtomicBool::new(false);
+            static NEVER: StopFlag = StopFlag::new();
             let _ = server.run(&NEVER);
             std::process::exit(0);
         }
@@ -138,16 +181,7 @@ fn content_integrity_under_interposition() {
 
     // Also run the canned load cell for the SUD config on the same
     // docroot to cover the slow-path-only server at 64KB.
-    let cell = run_cell(
-        &docroot,
-        Flavor::LighttpdLike,
-        1,
-        65536,
-        "sud",
-        0.4,
-        2,
-    )
-    .unwrap();
+    let cell = run_cell(&docroot, &quick_cell("sud", 65536)).unwrap();
     assert_eq!(cell.errors, 0);
     assert!(cell.rps > 10.0);
 }
