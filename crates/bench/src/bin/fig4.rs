@@ -56,8 +56,22 @@ fn main() {
         100.0 * seg_xstate / (total - base)
     );
 
+    // Interest-filtering win for loaded hooks (the hook-stack cell):
+    // a narrowly scoped dlopen'ed hook skips event construction for
+    // out-of-interest syscalls exactly like a compiled-in policy.
+    let win_curve = micro::run_hook_win_curve();
+    if let Some(w) = &win_curve {
+        println!(
+            "\nloaded-hook interest filtering: {:.0} cycles/dispatch (interest: all) vs \
+             {:.0} (interest: openat) — {:.2}x",
+            w.wide.cycles(),
+            w.narrow.cycles(),
+            w.wide.cycles() / w.narrow.cycles()
+        );
+    }
+
     if json_mode {
-        let root = Json::obj()
+        let mut root = Json::obj()
             .field("bench", Json::Str("fig4".into()))
             .field("native_supported", Json::Bool(true))
             .field("iters", Json::Int(r.iters))
@@ -78,6 +92,15 @@ fn main() {
                     .field("lazypoline_no_xstate", Json::Num(nox / base))
                     .field("lazypoline", Json::Num(full / base)),
             );
+        if let Some(w) = &win_curve {
+            root = root.field(
+                "hook_win_curve",
+                Json::obj()
+                    .field("wide_hook_cycles", Json::Num(w.wide.cycles()))
+                    .field("narrow_hook_cycles", Json::Num(w.narrow.cycles()))
+                    .field("speedup", Json::Num(w.wide.cycles() / w.narrow.cycles())),
+            );
+        }
         std::fs::write("BENCH_fig4.json", root.render()).expect("write BENCH_fig4.json");
         println!("\nwrote BENCH_fig4.json");
     }

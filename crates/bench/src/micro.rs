@@ -75,6 +75,15 @@ pub struct MicroResults {
     /// Full lazypoline with the flight recorder mirroring every
     /// syscall into the per-thread rings (record-overhead row).
     pub lazypoline_record: Measurement,
+    /// Full lazypoline dispatching into a compiled-in two-handler
+    /// [`interpose::ChainHandler`] — the baseline the loaded-hook row
+    /// is judged against.
+    pub lazypoline_chain: Measurement,
+    /// Full lazypoline under the `lazypoline+hooks` backend with the
+    /// no-op `hook_noop` cdylib loaded via `LP_HOOKS` — same stack
+    /// shape as the chain row, but one handler crossed the `dlopen`
+    /// ABI. `None` when the example hook library is not built.
+    pub lazypoline_hooks: Option<Measurement>,
     /// Pure SUD interposition (SIGSYS per syscall).
     pub sud: Measurement,
     /// Per-row mechanism counters (row label → delta snapshot covering
@@ -100,10 +109,11 @@ impl MicroResults {
             &self.lazypoline_nox,
             &self.lazypoline,
             &self.lazypoline_record,
-            &self.sud,
-            &self.sud_enabled_allow,
+            &self.lazypoline_chain,
         ]
         .into_iter()
+        .chain(self.lazypoline_hooks.as_ref())
+        .chain([&self.sud, &self.sud_enabled_allow])
         .map(|m| (m.name, m.cycles() / base, m.stddev_pct()))
         .collect()
     }
@@ -203,6 +213,13 @@ struct RowSpec {
     label: &'static str,
     /// The measured loop.
     body: fn(u64),
+    /// Builds the handler the backend installs. Every standard row
+    /// uses a bare passthrough; the hook-stack rows install richer
+    /// shapes so the *dispatch structure* is what varies, not the work.
+    handler: fn() -> Box<dyn interpose::SyscallHandler>,
+    /// `LP_HOOKS` value to export around the install (empty: leave the
+    /// ambient environment alone).
+    hooks: &'static str,
     /// Run one iteration after install so the lazy rewriter patches the
     /// loop's shared syscall site before timing.
     prime: bool,
@@ -219,6 +236,22 @@ struct RowSpec {
     record: bool,
 }
 
+/// The standard rows' handler: a bare passthrough.
+fn passthrough_handler() -> Box<dyn interpose::SyscallHandler> {
+    Box::new(interpose::PassthroughHandler)
+}
+
+/// The loaded-hook comparator: a compiled-in two-entry chain (anchor +
+/// one no-op member) — structurally the same stack the
+/// `lazypoline+hooks` row runs, with zero `dlopen` in sight.
+fn chain_handler() -> Box<dyn interpose::SyscallHandler> {
+    Box::new(
+        interpose::ChainHandler::new()
+            .push(Box::new(interpose::PassthroughHandler))
+            .push(Box::new(interpose::PassthroughHandler)),
+    )
+}
+
 /// The Table II measurement plan, in execution order.
 ///
 /// Ordering constraint: `sud-raw` owns the `SIGSYS` disposition and
@@ -233,6 +266,8 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         detach: false,
         capped: false,
         record: false,
+        handler: passthrough_handler,
+        hooks: "",
     },
     RowSpec {
         backend: "sud-allow",
@@ -242,6 +277,8 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         detach: false,
         capped: false,
         record: false,
+        handler: passthrough_handler,
+        hooks: "",
     },
     RowSpec {
         backend: "sud-raw",
@@ -251,6 +288,8 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         detach: false,
         capped: true,
         record: false,
+        handler: passthrough_handler,
+        hooks: "",
     },
     RowSpec {
         backend: "lazypoline",
@@ -260,6 +299,8 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         detach: false,
         capped: false,
         record: false,
+        handler: passthrough_handler,
+        hooks: "",
     },
     RowSpec {
         backend: "lazypoline+record",
@@ -269,6 +310,8 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         detach: false,
         capped: false,
         record: true,
+        handler: passthrough_handler,
+        hooks: "",
     },
     RowSpec {
         backend: "lazypoline-nox",
@@ -278,6 +321,8 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         detach: false,
         capped: false,
         record: false,
+        handler: passthrough_handler,
+        hooks: "",
     },
     RowSpec {
         backend: "zpoline",
@@ -287,6 +332,8 @@ const TABLE2_PLAN: [RowSpec; 7] = [
         detach: true,
         capped: false,
         record: false,
+        handler: passthrough_handler,
+        hooks: "",
     },
 ];
 
@@ -328,11 +375,23 @@ fn measure_row(
         );
         scratch_capacity = true;
     }
+    // Hook rows pin LP_HOOKS for the install window only, restoring
+    // whatever the harness exported afterwards.
+    let ambient_hooks = std::env::var_os("LP_HOOKS");
+    if !row.hooks.is_empty() {
+        std::env::set_var("LP_HOOKS", row.hooks);
+    }
     let backend = mechanism::by_name(row.backend)
         .unwrap_or_else(|| panic!("{} is not in the mechanism registry", row.backend));
     let mut active = backend
-        .install(Box::new(interpose::PassthroughHandler))
+        .install((row.handler)())
         .unwrap_or_else(|e| panic!("install {}: {e}", row.backend));
+    if !row.hooks.is_empty() {
+        match &ambient_hooks {
+            Some(v) => std::env::set_var("LP_HOOKS", v),
+            None => std::env::remove_var("LP_HOOKS"),
+        }
+    }
     if row.prime {
         (row.body)(1);
     }
@@ -377,7 +436,7 @@ pub fn run_table2() -> MicroResults {
     let sud_iters = iters.min(env_u64("LP_BENCH_SUD_ITERS", 50_000)).max(1);
 
     let mut measurements = Vec::with_capacity(TABLE2_PLAN.len());
-    let mut stats = Vec::with_capacity(TABLE2_PLAN.len());
+    let mut stats = Vec::with_capacity(TABLE2_PLAN.len() + 2);
     let mut recording = None;
     for row in &TABLE2_PLAN {
         let row_iters = if row.capped { sud_iters } else { iters };
@@ -386,6 +445,48 @@ pub fn run_table2() -> MicroResults {
         measurements.push(m);
         recording = recording.or(summary);
     }
+
+    // Hook-stack rows: the compiled-in chain comparator, then the same
+    // stack shape with one member loaded over the `lp_hook_v1` ABI.
+    let chain_row = RowSpec {
+        backend: "lazypoline",
+        label: "lazypoline+chain (compiled-in no-op chain)",
+        body: loop_fast,
+        prime: true,
+        detach: false,
+        capped: false,
+        record: false,
+        handler: chain_handler,
+        hooks: "",
+    };
+    let (lazypoline_chain, s, _) = measure_row(&chain_row, iters, runs);
+    stats.push((chain_row.label, s));
+
+    // Skip (don't fail) when the example cdylib isn't built — the JSON
+    // then simply lacks the row, like any unsupported configuration.
+    let lazypoline_hooks = match hookabi::load_from_spec("hook_noop") {
+        Ok(_) => {
+            let row = RowSpec {
+                backend: "lazypoline+hooks",
+                label: "lazypoline+hooks (loaded no-op hook)",
+                body: loop_fast,
+                prime: true,
+                detach: false,
+                capped: false,
+                record: false,
+                handler: passthrough_handler,
+                hooks: "hook_noop",
+            };
+            let (m, s, _) = measure_row(&row, iters, runs);
+            stats.push((row.label, s));
+            Some(m)
+        }
+        Err(e) => {
+            eprintln!("skip: lazypoline+hooks row ({e})");
+            None
+        }
+    };
+
     let mut it = measurements.into_iter();
     let (baseline, sud_enabled_allow, sud_m, lazypoline_m, lazypoline_record, lazypoline_nox, zpoline_m) = (
         it.next().unwrap(),
@@ -404,12 +505,74 @@ pub fn run_table2() -> MicroResults {
         lazypoline_nox,
         lazypoline: lazypoline_m,
         lazypoline_record,
+        lazypoline_chain,
+        lazypoline_hooks,
         sud: sud_m,
         stats,
         iters,
         runs,
         recording,
     }
+}
+
+/// The interest-filtering win for *loaded* hooks: a [`interpose::HookStack`]
+/// holding only one dlopen'ed hook, measured on the shared dispatch
+/// decision path ([`interpose::interpose_syscall`]) with syscall 500.
+///
+/// * `wide` — `hook_noop` declares interest in every syscall, so each
+///   iteration builds an event and virtually dispatches through the
+///   loaded member.
+/// * `narrow` — `hook_openat` declares interest in `openat` only;
+///   syscall 500 fails the stack's recomputed interest gate and
+///   executes raw, exactly like a compiled-in scoped policy.
+///
+/// Runs on any host (no SUD, no page zero). `None` when the example
+/// hook cdylibs are not built.
+#[derive(Clone, Debug)]
+pub struct HookWinCurve {
+    /// Iterations per run.
+    pub iters: u64,
+    /// Runs per configuration.
+    pub runs: u64,
+    /// Only `hook_noop` loaded (interest: all syscalls).
+    pub wide: Measurement,
+    /// Only `hook_openat` loaded (interest: `openat` only).
+    pub narrow: Measurement,
+}
+
+/// Measures [`HookWinCurve`]; see the type docs.
+pub fn run_hook_win_curve() -> Option<HookWinCurve> {
+    let iters = env_u64("LP_BENCH_ITERS", 200_000).max(1);
+    let runs = env_u64("LP_BENCH_RUNS", 10).max(1);
+
+    let measure_only = |spec: &str, name: &'static str| -> Option<Measurement> {
+        let mut hooks = match hookabi::load_from_spec(spec) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("skip: hook win-curve ({e})");
+                return None;
+            }
+        };
+        let hook = hooks.pop()?;
+        // The stack must contain ONLY the loaded hook: a compiled-in
+        // anchor with all-syscalls interest would defeat the narrowing
+        // this cell exists to show.
+        let stack = interpose::HookStack::new();
+        stack.attach_dynamic(Box::new(hook), 0);
+        let guard = interpose::install_handler(Box::new(stack));
+        let m = measure(name, loop_interest_dispatch, iters, runs);
+        drop(guard);
+        Some(m)
+    };
+
+    let wide = measure_only("hook_noop", "dispatch, loaded hook_noop (interest: all)")?;
+    let narrow = measure_only("hook_openat", "dispatch, loaded hook_openat (interest: openat)")?;
+    Some(HookWinCurve {
+        iters,
+        runs,
+        wide,
+        narrow,
+    })
 }
 
 /// The `lazypoline-hardened` Table II row, measured in a **child**
@@ -446,6 +609,8 @@ pub fn hardened_child_main() -> ! {
         detach: false,
         capped: false,
         record: false,
+        handler: passthrough_handler,
+        hooks: "",
     };
     let (m, stats, _) = measure_row(&row, iters, runs);
     let mut out = String::from("cycles");

@@ -1,37 +1,44 @@
 //! Handler composition.
 
-use crate::{Action, InterestSet, SyscallEvent, SyscallHandler};
+use crate::{Action, HookStack, InterestSet, SyscallEvent, SyscallHandler};
 
 /// Runs handlers in order; the first non-[`Action::Passthrough`] wins.
 ///
 /// Earlier handlers may rewrite the event for later ones (e.g. a
 /// redirect followed by a policy check sees the redirected fd).
+///
+/// `ChainHandler` is the build-once facade over [`HookStack`]: every
+/// handler is attached at priority 0, so dispatch order is exactly
+/// insertion order (the stack breaks priority ties by attach sequence)
+/// and the semantics match the stack's `call_next` contract. Code that
+/// needs runtime attach/detach or explicit priorities uses `HookStack`
+/// directly.
 pub struct ChainHandler {
-    handlers: Vec<Box<dyn SyscallHandler>>,
+    stack: HookStack,
 }
 
 impl ChainHandler {
     /// Creates an empty chain (acts as passthrough).
     pub fn new() -> ChainHandler {
         ChainHandler {
-            handlers: Vec::new(),
+            stack: HookStack::new(),
         }
     }
 
     /// Appends a handler to the chain.
-    pub fn push(mut self, h: Box<dyn SyscallHandler>) -> ChainHandler {
-        self.handlers.push(h);
+    pub fn push(self, h: Box<dyn SyscallHandler>) -> ChainHandler {
+        self.stack.attach(h, 0);
         self
     }
 
     /// Number of handlers in the chain.
     pub fn len(&self) -> usize {
-        self.handlers.len()
+        self.stack.len()
     }
 
     /// Whether the chain is empty.
     pub fn is_empty(&self) -> bool {
-        self.handlers.is_empty()
+        self.stack.is_empty()
     }
 }
 
@@ -43,27 +50,19 @@ impl Default for ChainHandler {
 
 impl std::fmt::Debug for ChainHandler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ChainHandler(len={})", self.handlers.len())
+        write!(f, "ChainHandler(len={})", self.len())
     }
 }
 
 impl SyscallHandler for ChainHandler {
     fn handle(&self, event: &mut SyscallEvent) -> Action {
-        for h in &self.handlers {
-            match h.handle(event) {
-                Action::Passthrough => continue,
-                decided => return decided,
-            }
-        }
-        Action::Passthrough
+        self.stack.handle(event)
     }
 
     fn post(&self, event: &SyscallEvent, ret: u64) -> u64 {
         // Every chained handler observes the result; rewrites compose
         // left to right.
-        self.handlers
-            .iter()
-            .fold(ret, |acc, h| h.post(event, acc))
+        self.stack.post(event, ret)
     }
 
     fn name(&self) -> &str {
@@ -76,9 +75,7 @@ impl SyscallHandler for ChainHandler {
     /// gets the chain invoked via its own membership.) An empty chain
     /// is a passthrough and asks for nothing.
     fn interest(&self) -> InterestSet {
-        self.handlers
-            .iter()
-            .fold(InterestSet::none(), |acc, h| acc.union(&h.interest()))
+        self.stack.interest()
     }
 }
 
@@ -99,9 +96,9 @@ mod tests {
     #[test]
     fn first_decision_wins_but_all_priors_run() {
         let counter = CountHandler::new();
-        // Leak a second reference for assertion: wrap in Arc-like by
-        // keeping counts observable through the chain isn't possible
-        // once boxed, so count indirectly via a fresh counter pair.
+        // CountHandler clones share their Arc-backed counters, so the
+        // chain's counts stay observable after the original is boxed.
+        let observer = counter.clone();
         let deny = PolicyBuilder::allow_by_default().deny(nr::EXECVE).build();
         let chain = ChainHandler::new()
             .push(Box::new(counter))
@@ -113,6 +110,12 @@ mod tests {
 
         let mut denied = SyscallEvent::new(SyscallArgs::nullary(nr::EXECVE));
         assert_eq!(chain.handle(&mut denied), Action::Fail(Errno::EPERM));
+
+        // The counter sat *before* the deny, so it observed both calls
+        // — including the one the policy then refused.
+        assert_eq!(observer.count(nr::READ), 1);
+        assert_eq!(observer.count(nr::EXECVE), 1);
+        assert_eq!(observer.total(), 2);
     }
 
     #[test]

@@ -1,45 +1,64 @@
 //! Allocation-free per-syscall-number counting.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::{Action, SyscallEvent, SyscallHandler};
 use syscalls::MAX_SYSCALL_NR;
+
+struct Counts {
+    per_nr: Box<[AtomicU64]>,
+    other: AtomicU64,
+}
 
 /// Counts invocations per syscall number, then passes through.
 ///
 /// Storage is a fixed array of atomics covering the whole trampoline
 /// range, so the hot path is one relaxed fetch-add — safe from any
-/// interposition context.
+/// interposition context. The storage is `Arc`-shared: `clone()` is
+/// cheap and every clone observes the same counters, so a test or
+/// report can keep a clone while the original is boxed into a chain,
+/// stack, or the global registry.
 pub struct CountHandler {
-    counts: Box<[AtomicU64]>,
-    other: AtomicU64,
+    counts: Arc<Counts>,
+}
+
+impl Clone for CountHandler {
+    fn clone(&self) -> CountHandler {
+        CountHandler {
+            counts: Arc::clone(&self.counts),
+        }
+    }
 }
 
 impl CountHandler {
     /// Creates a zeroed counter.
     pub fn new() -> CountHandler {
-        let counts = (0..MAX_SYSCALL_NR).map(|_| AtomicU64::new(0)).collect();
+        let per_nr = (0..MAX_SYSCALL_NR).map(|_| AtomicU64::new(0)).collect();
         CountHandler {
-            counts,
-            other: AtomicU64::new(0),
+            counts: Arc::new(Counts {
+                per_nr,
+                other: AtomicU64::new(0),
+            }),
         }
     }
 
     /// Invocations observed for `nr` so far.
     pub fn count(&self, nr: u64) -> u64 {
-        match self.counts.get(nr as usize) {
+        match self.counts.per_nr.get(nr as usize) {
             Some(c) => c.load(Ordering::Relaxed),
-            None => self.other.load(Ordering::Relaxed),
+            None => self.counts.other.load(Ordering::Relaxed),
         }
     }
 
     /// Total invocations across all numbers.
     pub fn total(&self) -> u64 {
         self.counts
+            .per_nr
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .sum::<u64>()
-            + self.other.load(Ordering::Relaxed)
+            + self.counts.other.load(Ordering::Relaxed)
     }
 
     /// `(nr, count)` pairs for every number seen at least once,
@@ -47,6 +66,7 @@ impl CountHandler {
     pub fn top(&self) -> Vec<(u64, u64)> {
         let mut v: Vec<(u64, u64)> = self
             .counts
+            .per_nr
             .iter()
             .enumerate()
             .filter_map(|(nr, c)| {
@@ -60,10 +80,10 @@ impl CountHandler {
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
-        for c in self.counts.iter() {
+        for c in self.counts.per_nr.iter() {
             c.store(0, Ordering::Relaxed);
         }
-        self.other.store(0, Ordering::Relaxed);
+        self.counts.other.store(0, Ordering::Relaxed);
     }
 }
 
@@ -83,9 +103,9 @@ impl std::fmt::Debug for CountHandler {
 
 impl SyscallHandler for CountHandler {
     fn handle(&self, event: &mut SyscallEvent) -> Action {
-        match self.counts.get(event.call.nr as usize) {
+        match self.counts.per_nr.get(event.call.nr as usize) {
             Some(c) => c.fetch_add(1, Ordering::Relaxed),
-            None => self.other.fetch_add(1, Ordering::Relaxed),
+            None => self.counts.other.fetch_add(1, Ordering::Relaxed),
         };
         Action::Passthrough
     }

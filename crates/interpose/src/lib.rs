@@ -31,6 +31,7 @@ mod policy;
 mod registry;
 mod remap;
 mod rewrite;
+mod stack;
 mod trace;
 
 pub use chain::ChainHandler;
@@ -40,10 +41,12 @@ pub use latency::{LatencyHandler, LATENCY_BUCKETS};
 pub use policy::{PolicyBuilder, PolicyHandler};
 pub use registry::{
     dispatch_global, global_handler, global_interested, install_handler, interpose_syscall,
-    post_global, quarantined_handlers, set_global_handler, HandlerGuard,
+    post_global, quarantined_handlers, refresh_global_interest, set_global_handler,
+    widen_global_interest, HandlerGuard,
 };
 pub use remap::{PathRemapHandler, MAX_PATH};
 pub use rewrite::FdRedirectHandler;
+pub use stack::{hook_dispatches, HookId, HookStack};
 pub use trace::{format_syscall_line, TraceHandler, TraceSink};
 
 use syscalls::{Errno, SyscallArgs};
@@ -137,6 +140,15 @@ pub trait SyscallHandler: Send + Sync {
     /// mechanism's fast path stays near raw-syscall cost for the rest.
     fn interest(&self) -> InterestSet {
         InterestSet::all()
+    }
+
+    /// Identity hook for runtime-mutable handlers. [`HookStack`] is the
+    /// only implementor: it uses this to recognise itself as the
+    /// installed global handler, so mutations of *detached* stacks
+    /// never touch the global interest cache. Ordinary handlers keep
+    /// the `None` default.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
     }
 }
 

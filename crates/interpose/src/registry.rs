@@ -120,6 +120,35 @@ impl Drop for HandlerGuard {
     }
 }
 
+/// Recomputes the interest cache from the currently installed handler
+/// (all-ones when none is installed, matching the registry default).
+///
+/// Runtime-mutable handlers — a [`HookStack`](crate::HookStack) whose
+/// entry list changed — call this after publishing their new state so
+/// the mechanisms' fast-path filter tracks the mutation. See the
+/// `stack` module docs for the ordering protocol (widen before swap on
+/// attach, swap before narrow on detach).
+pub fn refresh_global_interest() {
+    let interest = match global_handler() {
+        Some(h) => h.interest(),
+        None => crate::InterestSet::all(),
+    };
+    for (cache, word) in INTEREST_WORDS.iter().zip(interest.words()) {
+        cache.store(word, Ordering::Relaxed);
+    }
+}
+
+/// Widens the interest cache by OR-ing in `extra` without ever
+/// narrowing it. Used on the attach path *before* the new hook-stack
+/// state is published: a brief over-wide cache only delivers extra
+/// syscalls (benign by the interest contract), whereas a brief
+/// under-wide one would drop syscalls a live hook asked for.
+pub fn widen_global_interest(extra: &crate::InterestSet) {
+    for (cache, word) in INTEREST_WORDS.iter().zip(extra.words()) {
+        cache.fetch_or(word, Ordering::Relaxed);
+    }
+}
+
 /// Whether the installed handler is quarantined after panicking.
 static QUARANTINED: AtomicBool = AtomicBool::new(false);
 
@@ -366,6 +395,37 @@ mod tests {
         // Outer drop restores the original passthrough handler.
         assert!(global_interested(syscalls::nr::GETPID));
         assert_eq!(global_handler().unwrap().name(), "passthrough");
+    }
+
+    #[test]
+    fn installed_stack_mutations_track_interest_cache() {
+        let _g = REGISTRY_LOCK.lock().unwrap();
+        let stack = crate::HookStack::new();
+        let guard = install_handler(Box::new(stack.clone()));
+        // Empty stack: nothing is interesting.
+        assert!(!global_interested(syscalls::nr::GETPID));
+
+        let narrow = stack.attach(Box::new(OnlyOpenat), 0);
+        assert!(global_interested(syscalls::nr::OPENAT));
+        assert!(!global_interested(syscalls::nr::GETPID));
+
+        let wide = stack.attach_dynamic(Box::new(PassthroughHandler), 1);
+        assert!(global_interested(syscalls::nr::GETPID), "widened on attach");
+
+        assert!(stack.detach(wide));
+        assert!(!global_interested(syscalls::nr::GETPID), "narrowed on detach");
+        assert!(global_interested(syscalls::nr::OPENAT), "survivor keeps its set");
+
+        assert!(stack.detach(narrow));
+        assert!(!global_interested(syscalls::nr::OPENAT));
+        drop(guard);
+
+        // A *detached* stack's mutations must not touch the cache.
+        set_global_handler(Box::new(OnlyOpenat));
+        let loose = crate::HookStack::new();
+        loose.attach(Box::new(PassthroughHandler), 0);
+        assert!(!global_interested(syscalls::nr::GETPID));
+        set_global_handler(Box::new(PassthroughHandler));
     }
 
     struct Scripted;

@@ -15,6 +15,17 @@
 //! | `LAZYPOLINE_XSTATE` | `avx` (default), `sse`, `x87`, `none` | extended-state preservation (paper §IV-B(b)) |
 //! | `LAZYPOLINE_STATS` | `1` | dump engine counters at exit |
 //! | `LAZYPOLINE_FAULTS` | `site:schedule[:ERRNO],…` | arm fault-injection seams (testing only) |
+//! | `LP_HOOKS` | `lib.so[:prio],…` | dlopen `lp_hook_v1` hook libraries into a runtime stack around the mode handler |
+//!
+//! `LP_HOOKS` is the execve-propagation story for runtime hook stacks:
+//! loaded libraries don't survive an `execve`, but the environment does
+//! — a preloaded shim in the new image re-reads the same variable and
+//! reloads the same hook set before `main`. Paths with a `/` are passed
+//! to `dlopen` verbatim; prefer absolute paths here, since the
+//! preloaded process's working directory and `current_exe` are the
+//! *application's*, not the build tree's. A hook that fails to load
+//! disables the whole `LP_HOOKS` set (with a diagnostic) rather than
+//! running a partial policy stack.
 //!
 //! `LAZYPOLINE_FAULTS` (e.g. `trampoline_install:first=1` or
 //! `patch_mprotect:every=3:EAGAIN`) arms the engine's built-in fault
@@ -38,6 +49,10 @@ use interpose::{CountHandler, PassthroughHandler, SyscallHandler, TraceHandler, 
 use lazypoline::{Config, XstateMask};
 
 static COUNTER: AtomicPtr<CountHandler> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Hooks loaded from `LP_HOOKS` at init (0 when unset); drives the
+/// hooks section of the stats dump.
+static HOOKS_LOADED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Private dup of stderr taken at init: programs like coreutils close
 /// fd 2 in their own atexit handlers, which run *before* ours (LIFO),
@@ -75,6 +90,30 @@ unsafe extern "C" fn preload_ctor() {
             Box::new(Fwd(leaked))
         }
         _ => Box::new(PassthroughHandler),
+    };
+
+    // LP_HOOKS: wrap the mode handler in a runtime hook stack and load
+    // every named library around it (mode handler anchors priority 0).
+    let handler: Box<dyn SyscallHandler> = match std::env::var("LP_HOOKS") {
+        Ok(spec) if !spec.is_empty() => match hookabi::load_from_spec(&spec) {
+            Ok(loaded) => {
+                let stack = interpose::HookStack::new();
+                stack.attach(handler, 0);
+                for hook in loaded {
+                    let prio = hook.priority();
+                    stack.attach_dynamic(Box::new(hook), prio);
+                }
+                HOOKS_LOADED.store(stack.dynamic_len() as u64, Ordering::SeqCst);
+                Box::new(stack)
+            }
+            Err(e) => {
+                // All-or-nothing: a partial policy stack is worse than
+                // none, so one bad spec entry disables the whole set.
+                eprintln!("lazypoline-preload: LP_HOOKS disabled ({e})");
+                handler
+            }
+        },
+        _ => handler,
     };
     interpose::set_global_handler(handler);
 
@@ -120,6 +159,14 @@ extern "C" fn dump_stats() {
         out.push_str(&format!("pages blocklisted        : {}\n", s.pages_blocklisted));
         out.push_str(&format!("handlers quarantined     : {}\n", s.quarantined_handlers));
         out.push_str(&format!("faults injected          : {}\n", h.faults_injected));
+    }
+    let hooks = HOOKS_LOADED.load(Ordering::SeqCst);
+    if hooks > 0 {
+        out.push_str(&format!("hooks loaded             : {hooks}\n"));
+        out.push_str(&format!(
+            "hook dispatches          : {}\n",
+            interpose::hook_dispatches()
+        ));
     }
     let counter = COUNTER.load(Ordering::SeqCst);
     if !counter.is_null() {

@@ -229,6 +229,13 @@ pub struct epoll_event {
     pub u64: u64,
 }
 
+// ——— dynamic loader ——————————————————————————————————————————————————
+
+pub const RTLD_LAZY: c_int = 0x0001;
+pub const RTLD_NOW: c_int = 0x0002;
+pub const RTLD_LOCAL: c_int = 0;
+pub const RTLD_GLOBAL: c_int = 0x0100;
+
 // ——— wait status macros ——————————————————————————————————————————————
 
 #[allow(non_snake_case)]
@@ -298,6 +305,12 @@ extern "C" {
     ) -> c_int;
 
     pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+
+    // Dynamic loader (in libc.so.6 since glibc 2.34; no -ldl needed).
+    pub fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+    pub fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    pub fn dlclose(handle: *mut c_void) -> c_int;
+    pub fn dlerror() -> *mut c_char;
 
     pub fn epoll_create1(flags: c_int) -> c_int;
     pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;

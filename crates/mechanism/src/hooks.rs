@@ -1,0 +1,205 @@
+//! The `<base>+hooks` dynamic backend: any static mechanism with a
+//! runtime [`HookStack`] installed as its handler — the caller's
+//! compiled-in handler at priority 0, plus every hook library named by
+//! `LP_HOOKS=lib.so[:prio],...` loaded through the `lp_hook_v1` ABI
+//! and stacked by priority.
+//!
+//! Like `<base>+record`, the name carries payload and therefore lives
+//! outside the static tables: parsed on first lookup, leaked, cached.
+//!
+//! # Propagation
+//!
+//! *fork*: the loaded libraries, the stack snapshot, and the registry's
+//! handler pointer are ordinary inherited memory; the engine re-arms
+//! SUD in the child, so hooks keep firing without any reload (the
+//! native `hook_stack` scenario proves it).
+//! *execve*: memory is wiped, but `LP_HOOKS` survives in the
+//! environment — a preloaded `lazypoline-preload` in the new image
+//! reloads the same hook set at its constructor (the preload crate
+//! reads the same variable).
+
+use std::sync::{Arc, Mutex};
+
+use hookabi::LoadedHook;
+use interpose::{Action, HookId, HookStack, InterestSet, SyscallEvent, SyscallHandler};
+use sim_interpose::Traits;
+
+use crate::{
+    static_by_name, ActiveMechanism, InstallError, Inner, Mechanism, RunError, SimOutcome,
+    StatsSnapshot,
+};
+
+/// Environment variable naming the hook libraries a `<base>+hooks`
+/// backend loads at install: comma-separated `path-or-name[:priority]`
+/// (see `hookabi::parse_specs`). Unset or empty: the stack holds only
+/// the compiled-in handler.
+pub const HOOKS_ENV: &str = "LP_HOOKS";
+
+/// Process-lifetime cache of constructed `+hooks` backends, keyed by
+/// the full name (same pattern as the record/replay cache).
+static CACHE: Mutex<Vec<(String, &'static dyn Mechanism)>> = Mutex::new(Vec::new());
+
+/// Parses `<base>+hooks`; `None` if the name has no `+hooks` suffix or
+/// the base is not a static backend.
+pub(crate) fn dynamic_by_name(name: &str) -> Option<&'static dyn Mechanism> {
+    let mut cache = CACHE.lock().unwrap();
+    if let Some((_, m)) = cache.iter().find(|(k, _)| k == name) {
+        return Some(*m);
+    }
+    let base_name = name.strip_suffix("+hooks")?;
+    let base = static_by_name(base_name)?;
+    let built: &'static dyn Mechanism = Box::leak(Box::new(HooksBackend {
+        key: Box::leak(name.to_string().into_boxed_str()),
+        base,
+    }));
+    cache.push((name.to_string(), built));
+    Some(built)
+}
+
+/// Shares one [`LoadedHook`] between the stack entry (which needs a
+/// `Box<dyn SyscallHandler>`) and the install guard (which needs the
+/// hook back for `fini` at detach).
+struct SharedHook(Arc<LoadedHook>);
+
+impl SyscallHandler for SharedHook {
+    fn handle(&self, event: &mut SyscallEvent) -> Action {
+        self.0.handle(event)
+    }
+    fn post(&self, event: &SyscallEvent, ret: u64) -> u64 {
+        self.0.post(event, ret)
+    }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn interest(&self) -> InterestSet {
+        self.0.interest()
+    }
+}
+
+/// `<base>+hooks`: the base mechanism dispatching into a runtime
+/// [`HookStack`].
+struct HooksBackend {
+    key: &'static str,
+    base: &'static dyn Mechanism,
+}
+
+impl Mechanism for HooksBackend {
+    fn name(&self) -> &'static str {
+        self.key
+    }
+
+    fn traits(&self) -> Traits {
+        self.base.traits()
+    }
+
+    fn is_available(&self) -> bool {
+        self.base.is_available()
+    }
+
+    fn install(
+        &self,
+        handler: Box<dyn SyscallHandler>,
+    ) -> Result<ActiveMechanism, InstallError> {
+        // Load every hook *before* arming the base: a bad library is a
+        // typed install error, never a half-armed mechanism.
+        let spec = std::env::var(HOOKS_ENV).unwrap_or_default();
+        let loaded = hookabi::load_from_spec(&spec).map_err(InstallError::Hook)?;
+
+        let stack = HookStack::new();
+        // The compiled-in handler anchors the stack at priority 0;
+        // spec/descriptor priorities place each hook around it.
+        stack.attach(handler, 0);
+        let mut hooks = Vec::with_capacity(loaded.len());
+        for h in loaded {
+            let h = Arc::new(h);
+            let prio = h.priority();
+            let id = stack.attach_dynamic(Box::new(SharedHook(Arc::clone(&h))), prio);
+            hooks.push((id, h));
+        }
+
+        let dispatch_base = interpose::hook_dispatches();
+        // The base installs a clone of the stack as the process-global
+        // handler — clones share state, so runtime attach/detach
+        // through the guard's `stack()` mutates the live handler (and
+        // the stack recognises itself as installed, keeping the
+        // interest cache in sync).
+        let base = self.base.install(Box::new(stack.clone()))?;
+        Ok(ActiveMechanism::new(
+            self.key,
+            Inner::Hooks(Box::new(HooksActive {
+                base,
+                stack,
+                hooks,
+                dispatch_base,
+            })),
+        ))
+    }
+}
+
+/// Live `<base>+hooks` installation: the base guard, the shared stack,
+/// and the loaded hooks (kept for `fini` + reporting).
+pub(crate) struct HooksActive {
+    base: ActiveMechanism,
+    stack: HookStack,
+    hooks: Vec<(HookId, Arc<LoadedHook>)>,
+    /// `interpose::hook_dispatches()` at install, for delta reporting.
+    dispatch_base: u64,
+}
+
+impl HooksActive {
+    pub(crate) fn snapshot(&self, mechanism: &'static str) -> StatsSnapshot {
+        let mut s = self.base.stats();
+        s.mechanism = mechanism;
+        s.hooks_loaded = self.stack.dynamic_len() as u64;
+        s.hook_dispatches = interpose::hook_dispatches().saturating_sub(self.dispatch_base);
+        s
+    }
+
+    pub(crate) fn detach(&mut self) {
+        self.base.detach();
+    }
+
+    pub(crate) fn set_xstate(&mut self, mask: zpoline::XstateMask) -> bool {
+        self.base.set_xstate(mask)
+    }
+
+    pub(crate) fn run_program(&mut self, program: &[u8]) -> Result<SimOutcome, RunError> {
+        self.base.run_program(program)
+    }
+
+    pub(crate) fn stack(&self) -> &HookStack {
+        &self.stack
+    }
+
+    pub(crate) fn loaded(&self) -> Vec<(HookId, String, i32)> {
+        self.hooks
+            .iter()
+            .map(|(id, h)| (*id, h.name().to_string(), h.priority()))
+            .collect()
+    }
+
+    pub(crate) fn detach_hook(&mut self, id: HookId) -> bool {
+        let Some(pos) = self.hooks.iter().position(|(hid, _)| *hid == id) else {
+            return false;
+        };
+        if !self.stack.detach(id) {
+            return false;
+        }
+        let (_, hook) = self.hooks.remove(pos);
+        hook.run_fini();
+        true
+    }
+}
+
+impl Drop for HooksActive {
+    fn drop(&mut self) {
+        // Teardown order: the base guard (still held) keeps the stack
+        // valid while we detach; fini runs per surviving hook. The
+        // libraries themselves stay mapped forever (hookabi docs).
+        for (id, hook) in self.hooks.drain(..) {
+            if self.stack.detach(id) {
+                hook.run_fini();
+            }
+        }
+    }
+}

@@ -35,8 +35,10 @@
 //! `sim:lazypoline`, `sim:lazypoline-hardened`.
 //!
 //! Dynamic (parsed by [`by_name`], composed over the rows above):
-//! `<base>+record` (flight recorder around any backend) and
-//! `replay:<trace-path>` (deterministic replay of a recorded trace).
+//! `<base>+record` (flight recorder around any backend),
+//! `replay:<trace-path>` (deterministic replay of a recorded trace),
+//! and `<base>+hooks` (a runtime [`interpose::HookStack`] as the
+//! handler, loading every `lp_hook_v1` library named by `LP_HOOKS`).
 //!
 //! # One-way caveats
 //!
@@ -51,11 +53,13 @@
 
 #![deny(missing_docs)]
 
+mod hooks;
 mod native;
 mod record_replay;
 mod sim;
 
 use interpose::SyscallHandler;
+pub use hooks::HOOKS_ENV;
 pub use record_replay::TRACE_OUT_ENV;
 pub use replay;
 pub use sim_interpose::{Efficiency, Expressiveness, Traits};
@@ -99,6 +103,9 @@ pub enum InstallError {
     Init(lazypoline::InitError),
     /// A raw kernel interface (prctl/sigaction) failed.
     Io(std::io::Error),
+    /// A `<base>+hooks` backend could not load a hook library named by
+    /// `LP_HOOKS` (bad spec, dlopen failure, ABI mismatch, …).
+    Hook(hookabi::HookLoadError),
 }
 
 impl std::fmt::Display for InstallError {
@@ -108,6 +115,7 @@ impl std::fmt::Display for InstallError {
             InstallError::Conflict(why) => write!(f, "conflicts with process state: {why}"),
             InstallError::Init(e) => write!(f, "engine init failed: {e}"),
             InstallError::Io(e) => write!(f, "kernel interface failed: {e}"),
+            InstallError::Hook(e) => write!(f, "hook loading failed: {e}"),
         }
     }
 }
@@ -197,6 +205,12 @@ pub struct StatsSnapshot {
     /// WRPKRU open/close pairs around protected-selector writes
     /// (nonzero only with the pkey layer armed).
     pub pkru_switches: u64,
+    /// Dynamically loaded hooks currently attached to the handler stack
+    /// (a gauge, not a delta; nonzero only under `<base>+hooks`).
+    pub hooks_loaded: u64,
+    /// Syscall events dispatched into dynamically loaded hooks since
+    /// install (one count per hook per event that reaches it).
+    pub hook_dispatches: u64,
 }
 
 impl StatsSnapshot {
@@ -233,6 +247,7 @@ pub(crate) enum Inner {
     Sim(sim::SimActive),
     Record(Box<record_replay::RecordActive>),
     Replay(Box<record_replay::ReplayActive>),
+    Hooks(Box<hooks::HooksActive>),
 }
 
 impl ActiveMechanism {
@@ -252,6 +267,38 @@ impl ActiveMechanism {
             Inner::Sim(s) => s.snapshot(self.name),
             Inner::Record(r) => r.snapshot(self.name),
             Inner::Replay(r) => r.snapshot(self.name),
+            Inner::Hooks(h) => h.snapshot(self.name),
+        }
+    }
+
+    /// The runtime hook stack of a `<base>+hooks` backend — a clone
+    /// shares state with the installed handler, so attaching/detaching
+    /// through it mutates live dispatch. `None` for other backends.
+    pub fn hook_stack(&self) -> Option<&interpose::HookStack> {
+        match &self.inner {
+            Inner::Hooks(h) => Some(h.stack()),
+            _ => None,
+        }
+    }
+
+    /// The dynamically loaded hooks of a `<base>+hooks` backend:
+    /// `(id, name, priority)` per hook, in load order. Empty for other
+    /// backends.
+    pub fn loaded_hooks(&self) -> Vec<(interpose::HookId, String, i32)> {
+        match &self.inner {
+            Inner::Hooks(h) => h.loaded(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Detaches one dynamically loaded hook mid-flight: removes it from
+    /// the stack (narrowing the interest cache after the swap) and runs
+    /// its `fini`. Returns `false` if the id is unknown or already
+    /// detached, or the backend is not `<base>+hooks`.
+    pub fn detach_hook(&mut self, id: interpose::HookId) -> bool {
+        match &mut self.inner {
+            Inner::Hooks(h) => h.detach_hook(id),
+            _ => false,
         }
     }
 
@@ -295,6 +342,7 @@ impl ActiveMechanism {
             Inner::Native(n) => n.detach(),
             Inner::Record(r) => r.detach(),
             Inner::Replay(r) => r.detach(),
+            Inner::Hooks(h) => h.detach(),
             Inner::Sim(_) => {}
         }
     }
@@ -308,6 +356,7 @@ impl ActiveMechanism {
             Inner::Native(n) => n.set_xstate(mask),
             Inner::Record(r) => r.set_xstate(mask),
             Inner::Replay(r) => r.set_xstate(mask),
+            Inner::Hooks(h) => h.set_xstate(mask),
             Inner::Sim(_) => false,
         }
     }
@@ -322,6 +371,7 @@ impl ActiveMechanism {
             Inner::Sim(s) => s.run(program),
             Inner::Record(r) => r.run_program(program),
             Inner::Replay(r) => r.run_program(program),
+            Inner::Hooks(h) => h.run_program(program),
             Inner::Native(_) => Err(RunError::NotSimulated),
         }
     }
@@ -352,8 +402,14 @@ pub fn names() -> Vec<&'static str> {
 /// * `replay:<trace-path>` — deterministic replay of a recorded trace;
 ///   the base mechanism comes from the trace header's source mechanism
 ///   (override with `LP_REPLAY_BASE`).
+/// * `<base>+hooks` — any static backend with a runtime
+///   [`interpose::HookStack`] as its handler (e.g. `lazypoline+hooks`,
+///   `sim:lazypoline+hooks`): the compiled-in handler at priority 0
+///   plus every `lp_hook_v1` library named by `LP_HOOKS`.
 pub fn by_name(name: &str) -> Option<&'static dyn Mechanism> {
-    static_by_name(name).or_else(|| record_replay::dynamic_by_name(name))
+    static_by_name(name)
+        .or_else(|| record_replay::dynamic_by_name(name))
+        .or_else(|| hooks::dynamic_by_name(name))
 }
 
 /// Static-registry lookup only — used internally so dynamic backends
@@ -386,7 +442,8 @@ impl std::fmt::Display for UnknownMechanism {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown mechanism {:?} (valid: {})",
+            "unknown mechanism {:?} (valid: {}; dynamic forms: \
+             <base>+record, replay:<trace-path>, <base>+hooks)",
             self.0,
             names().join(", ")
         )
@@ -478,6 +535,50 @@ mod tests {
         assert!(by_name("no-such-mechanism").is_none());
         let err = UnknownMechanism("no-such-mechanism".into()).to_string();
         assert!(err.contains("lazypoline"), "error lists valid names: {err}");
+        // The dynamic name forms are part of the valid vocabulary and
+        // must appear in the error too.
+        for form in ["<base>+record", "replay:<trace-path>", "<base>+hooks"] {
+            assert!(err.contains(form), "error lists dynamic form {form}: {err}");
+        }
+    }
+
+    #[test]
+    fn hooks_backend_composes_and_reports() {
+        let m = by_name("sim:lazypoline+hooks").expect("+hooks parses over sim bases");
+        assert_eq!(m.name(), "sim:lazypoline+hooks");
+        assert!(m.is_available());
+        assert_eq!(m.traits(), by_name("sim:lazypoline").unwrap().traits());
+        // Unknown bases don't parse; repeat lookups hit the cache.
+        assert!(by_name("no-such-base+hooks").is_none());
+        assert!(std::ptr::eq(m, by_name("sim:lazypoline+hooks").unwrap()));
+
+        // With LP_HOOKS unset the stack holds only the compiled-in
+        // handler — still a fully functional installation. (Skip when
+        // the harness exported LP_HOOKS: this test asserts emptiness.)
+        if std::env::var(HOOKS_ENV).is_err() {
+            let mut active = m
+                .install(Box::new(interpose::CountHandler::new()))
+                .expect("sim +hooks installs without hook libraries");
+            let out = active
+                .run_program(&sim_workloads::bench::microbench(20))
+                .expect("guest runs");
+            assert_eq!(out.exit, 0);
+            let s = active.stats();
+            assert_eq!(s.mechanism, "sim:lazypoline+hooks");
+            assert!(s.dispatches > 0, "compiled-in handler still dispatches");
+            assert_eq!(s.hooks_loaded, 0);
+            assert_eq!(s.hook_dispatches, 0);
+            let stack = active.hook_stack().expect("+hooks exposes its stack");
+            assert_eq!(stack.len(), 1, "compiled-in handler only");
+            assert!(active.loaded_hooks().is_empty());
+        }
+        // Non-hooks backends expose no stack.
+        let plain = by_name("none")
+            .unwrap()
+            .install(Box::new(interpose::PassthroughHandler))
+            .unwrap();
+        assert!(plain.hook_stack().is_none());
+        assert!(plain.loaded_hooks().is_empty());
     }
 
     #[test]

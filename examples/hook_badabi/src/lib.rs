@@ -1,0 +1,24 @@
+//! A hook from the future: its descriptor claims ABI version 999.
+//! The loader must reject it with `HookLoadError::AbiMismatch` after
+//! reading *only* the version field — this crate keeps the rest of the
+//! v1 layout so a loader bug that touched later fields would still be
+//! memory-safe to diagnose.
+
+use hookabi::{LpHookEvent, LpHookV1, LP_HOOK_CALL_NEXT};
+
+extern "C-unwind" fn handle(_event: *mut LpHookEvent, _out: *mut u64) -> i32 {
+    LP_HOOK_CALL_NEXT
+}
+
+/// A descriptor the v1 loader must refuse.
+#[no_mangle]
+pub static lp_hook_v1: LpHookV1 = LpHookV1 {
+    abi_version: 999,
+    priority: 0,
+    name: c"hook_badabi".as_ptr(),
+    interest_words: [u64::MAX; 8],
+    init: None,
+    fini: None,
+    handle: Some(handle),
+    post: None,
+};

@@ -1,0 +1,37 @@
+//! Example loadable hook: counts every intercepted syscall and passes
+//! it through — the "dummy interposition plus a counter" a fleet
+//! operator would attach to measure syscall mix without a rebuild.
+//!
+//! Exports the `lp_hook_v1` descriptor this suite's loader expects,
+//! plus a `lp_hook_count_total` getter so tests (and operators, via
+//! `dlsym`) can read the count back out of the loaded library.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hookabi::{LpHookEvent, LpHookV1, LP_HOOK_ABI_V1, LP_HOOK_CALL_NEXT};
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+extern "C-unwind" fn handle(_event: *mut LpHookEvent, _out: *mut u64) -> i32 {
+    TOTAL.fetch_add(1, Ordering::Relaxed);
+    LP_HOOK_CALL_NEXT
+}
+
+/// Syscalls this loaded instance has observed; reachable via `dlsym`.
+#[no_mangle]
+pub extern "C" fn lp_hook_count_total() -> u64 {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+/// The versioned hook descriptor the loader looks up.
+#[no_mangle]
+pub static lp_hook_v1: LpHookV1 = LpHookV1 {
+    abi_version: LP_HOOK_ABI_V1,
+    priority: 10,
+    name: c"hook_count".as_ptr(),
+    interest_words: [u64::MAX; 8],
+    init: None,
+    fini: None,
+    handle: Some(handle),
+    post: None,
+};

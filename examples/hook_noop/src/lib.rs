@@ -1,0 +1,23 @@
+//! The empty loaded hook: interested in everything, decides nothing.
+//! Benchmarks dispatch this to measure the pure cost of reaching a
+//! dynamically-loaded hook (table2 row `lazypoline+hooks`) against the
+//! compiled-in equivalent.
+
+use hookabi::{LpHookEvent, LpHookV1, LP_HOOK_ABI_V1, LP_HOOK_CALL_NEXT};
+
+extern "C-unwind" fn handle(_event: *mut LpHookEvent, _out: *mut u64) -> i32 {
+    LP_HOOK_CALL_NEXT
+}
+
+/// The versioned hook descriptor the loader looks up.
+#[no_mangle]
+pub static lp_hook_v1: LpHookV1 = LpHookV1 {
+    abi_version: LP_HOOK_ABI_V1,
+    priority: 0,
+    name: c"hook_noop".as_ptr(),
+    interest_words: [u64::MAX; 8],
+    init: None,
+    fini: None,
+    handle: Some(handle),
+    post: None,
+};

@@ -1,0 +1,45 @@
+//! A loaded hook that declares interest in **one** syscall (`openat`,
+//! nr 257). Every other syscall number never reaches it — the engine's
+//! interest filter falls straight through to the raw syscall — so
+//! stacking this hook costs near-nothing on unrelated workloads. The
+//! win-curve benchmark quantifies exactly that against the
+//! all-syscalls `hook_noop`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hookabi::{LpHookEvent, LpHookV1, LP_HOOK_ABI_V1, LP_HOOK_CALL_NEXT};
+
+const OPENAT: u64 = 257;
+
+const fn openat_only() -> [u64; 8] {
+    let mut words = [0u64; 8];
+    words[(OPENAT / 64) as usize] = 1 << (OPENAT % 64);
+    words
+}
+
+static SEEN: AtomicU64 = AtomicU64::new(0);
+
+extern "C-unwind" fn handle(_event: *mut LpHookEvent, _out: *mut u64) -> i32 {
+    SEEN.fetch_add(1, Ordering::Relaxed);
+    LP_HOOK_CALL_NEXT
+}
+
+/// `openat` deliveries observed; reachable via `dlsym`. Tests use this
+/// to prove narrowing really filtered everything else out.
+#[no_mangle]
+pub extern "C" fn lp_hook_openat_total() -> u64 {
+    SEEN.load(Ordering::Relaxed)
+}
+
+/// The versioned hook descriptor the loader looks up.
+#[no_mangle]
+pub static lp_hook_v1: LpHookV1 = LpHookV1 {
+    abi_version: LP_HOOK_ABI_V1,
+    priority: 0,
+    name: c"hook_openat".as_ptr(),
+    interest_words: openat_only(),
+    init: None,
+    fini: None,
+    handle: Some(handle),
+    post: None,
+};

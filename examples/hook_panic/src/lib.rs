@@ -1,0 +1,37 @@
+//! A hook with a bug: it panics when syscall number 511 (an unused,
+//! in-range number tests can trigger on demand) crosses it. Per the
+//! ABI contract the panic must NOT unwind across the `dlopen` boundary
+//! (this cdylib carries its own Rust runtime — the host would see a
+//! foreign exception and abort); the hook catches it and returns
+//! `LP_HOOK_PANIC`, which the loader escalates into the registry's
+//! stack-wide quarantine while the syscall passes through — the
+//! application keeps running.
+
+use hookabi::{LpHookEvent, LpHookV1, LP_HOOK_ABI_V1, LP_HOOK_CALL_NEXT, LP_HOOK_PANIC};
+
+const TRIGGER_NR: u64 = 511;
+
+extern "C-unwind" fn handle(event: *mut LpHookEvent, _out: *mut u64) -> i32 {
+    // SAFETY: the ABI guarantees a valid event pointer for the call.
+    let nr = unsafe { (*event).nr };
+    let body = std::panic::catch_unwind(|| {
+        if nr == TRIGGER_NR {
+            panic!("hook_panic: simulated policy bug on nr {nr}");
+        }
+        LP_HOOK_CALL_NEXT
+    });
+    body.unwrap_or(LP_HOOK_PANIC)
+}
+
+/// The versioned hook descriptor the loader looks up.
+#[no_mangle]
+pub static lp_hook_v1: LpHookV1 = LpHookV1 {
+    abi_version: LP_HOOK_ABI_V1,
+    priority: 0,
+    name: c"hook_panic".as_ptr(),
+    interest_words: [u64::MAX; 8],
+    init: None,
+    fini: None,
+    handle: Some(handle),
+    post: None,
+};

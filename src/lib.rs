@@ -4,6 +4,7 @@
 //! integration tests, and downstream experimentation. See the README
 //! for the map and DESIGN.md for the paper-to-crate inventory.
 
+pub use hookabi;
 pub use httpd;
 pub use interpose;
 pub use lazypoline;

@@ -1045,6 +1045,14 @@ fn scenario_mechanism_smoke() {
             .run_program(&sim_workloads::bench::microbench(50))
             .expect("sim run");
         assert_eq!(outcome.exit, 0, "{}: bad exit", active.mechanism_name());
+        if active.mechanism_name().ends_with("+hooks") {
+            let s = active.stats();
+            assert!(
+                s.hooks_loaded > 0,
+                "{}: LP_HOOKS loaded no hooks — the matrix row is vacuous",
+                active.mechanism_name()
+            );
+        }
         println!(
             "mechanism {}: simulated, {} syscalls observed",
             active.mechanism_name(),
@@ -1073,6 +1081,14 @@ fn scenario_mechanism_smoke() {
     std::fs::remove_file(&tmp).unwrap();
     active.detach();
     let stats = active.stats();
+    if active.mechanism_name().ends_with("+hooks") {
+        assert!(
+            stats.hooks_loaded > 0,
+            "{}: LP_HOOKS loaded no hooks — the matrix row is vacuous",
+            active.mechanism_name()
+        );
+        assert!(stats.hook_dispatches > 0, "loaded hooks saw no syscalls");
+    }
     println!(
         "mechanism {}: {} dispatches, {} slow-path, {} patched",
         active.mechanism_name(),
@@ -1143,6 +1159,122 @@ fn scenario_record_replay_native() {
     );
     drop(active);
     std::fs::remove_file(&trace).unwrap();
+}
+
+/// `dlsym`s a `() -> u64` counter getter out of an example hook library
+/// (`dlopen` of an already-loaded path returns the existing module, so
+/// the value read is the live hook's state).
+fn hook_getter(lib: &str, symbol: &str) -> extern "C" fn() -> u64 {
+    let path =
+        std::ffi::CString::new(hookabi::resolve_library(lib).to_str().unwrap()).unwrap();
+    let sym = std::ffi::CString::new(symbol).unwrap();
+    unsafe {
+        let handle = libc::dlopen(path.as_ptr(), libc::RTLD_NOW | libc::RTLD_LOCAL);
+        assert!(!handle.is_null(), "dlopen {lib}");
+        let ptr = libc::dlsym(handle, sym.as_ptr());
+        assert!(!ptr.is_null(), "dlsym {symbol}");
+        std::mem::transmute::<*mut libc::c_void, extern "C" fn() -> u64>(ptr)
+    }
+}
+
+fn scenario_hook_stack_native() {
+    // Runtime hook stacks against the real engine: the LP_HOOKS
+    // libraries stack by priority around the compiled-in handler,
+    // survive fork's SUD re-arm, and detach mid-workload without a
+    // crash or a missed syscall for the survivors.
+    std::env::set_var("LP_HOOKS", "hook_count:20,hook_openat");
+    let counter: &'static CountHandler = Box::leak(Box::new(CountHandler::new()));
+    struct Fwd(&'static CountHandler);
+    impl SyscallHandler for Fwd {
+        fn handle(&self, ev: &mut SyscallEvent) -> Action {
+            self.0.handle(ev)
+        }
+        fn name(&self) -> &str {
+            "count"
+        }
+    }
+    let mut active = install("lazypoline+hooks", Box::new(Fwd(counter)));
+    std::env::remove_var("LP_HOOKS");
+
+    let count_total = hook_getter("hook_count", "lp_hook_count_total");
+    let openat_total = hook_getter("hook_openat", "lp_hook_openat_total");
+
+    // Priority order: spec override 20, compiled-in 0 (priority ties
+    // break by attach sequence), descriptor 0.
+    let entries = active.hook_stack().expect("+hooks exposes the stack").entries();
+    let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["hook_count", "count", "hook_openat"], "{entries:?}");
+    assert_eq!(active.stats().hooks_loaded, 2);
+
+    let (c0, o0) = (count_total(), openat_total());
+    let pid = std::process::id() as u64;
+    for _ in 0..50 {
+        assert_eq!(asm_getpid(), pid);
+    }
+    let tmp = std::env::temp_dir().join(format!("lp-hooks-{}", std::process::id()));
+    std::fs::write(&tmp, b"hooked").unwrap();
+    assert_eq!(std::fs::read(&tmp).unwrap(), b"hooked");
+    assert!(counter.count(syscalls::nr::GETPID) >= 50, "compiled-in handler ran");
+    assert!(count_total() - c0 >= 50, "wide hook saw the getpid loop");
+    let opens = openat_total();
+    assert!(opens - o0 >= 2, "narrow hook saw the file opens");
+
+    // fork: the child re-arms SUD; the inherited stack keeps counting
+    // in the child's copy of the hook state.
+    unsafe {
+        let child = libc::fork();
+        assert!(child >= 0);
+        if child == 0 {
+            let (c, o) = (count_total(), openat_total());
+            let own = libc::getpid() as u64;
+            for _ in 0..10 {
+                if asm_getpid() != own {
+                    libc::_exit(1);
+                }
+            }
+            if std::fs::read(&tmp).is_err() {
+                libc::_exit(2);
+            }
+            if count_total() - c < 10 {
+                libc::_exit(3);
+            }
+            if openat_total() - o < 1 {
+                libc::_exit(4);
+            }
+            libc::_exit(44);
+        }
+        let mut status = 0;
+        libc::waitpid(child, &mut status, 0);
+        assert!(libc::WIFEXITED(status), "hooked fork child died: {status:#x}");
+        assert_eq!(libc::WEXITSTATUS(status), 44, "hooks did not survive fork re-arm");
+    }
+
+    // Mid-workload detach of the wide hook: its counter freezes, the
+    // survivors keep their interest, nothing crashes.
+    let wide = active
+        .loaded_hooks()
+        .iter()
+        .find(|(_, n, _)| n == "hook_count")
+        .map(|(id, _, _)| *id)
+        .expect("hook_count is loaded");
+    let g_before = counter.count(syscalls::nr::GETPID);
+    assert!(active.detach_hook(wide));
+    let frozen = count_total();
+    for _ in 0..25 {
+        assert_eq!(asm_getpid(), pid);
+    }
+    assert_eq!(std::fs::read(&tmp).unwrap(), b"hooked");
+    std::fs::remove_file(&tmp).unwrap();
+    assert_eq!(count_total(), frozen, "detached hook must see nothing");
+    assert!(
+        counter.count(syscalls::nr::GETPID) >= g_before + 25,
+        "compiled-in handler lost its interest after the narrow"
+    );
+    assert!(openat_total() > opens, "surviving narrow hook stopped seeing opens");
+    let stats = active.stats();
+    assert_eq!(stats.hooks_loaded, 1, "{stats:?}");
+    assert!(stats.hook_dispatches > 0, "{stats:?}");
+    active.detach();
 }
 
 // ——— hardened escape scenarios (ISSUE 7) ————————————————————————————
@@ -1324,6 +1456,7 @@ const SCENARIOS: &[(&str, fn())] = &[
     ("mechanism_differential", scenario_mechanism_differential),
     ("mechanism_smoke", scenario_mechanism_smoke),
     ("record_replay_native", scenario_record_replay_native),
+    ("hook_stack_native", scenario_hook_stack_native),
     ("escape_plain", scenario_escape_plain),
     ("escape_quarantine", scenario_escape_quarantine),
     ("escape_kill", scenario_escape_kill),
