@@ -63,7 +63,11 @@ fn with_stats(row: Json, stats: Option<&mechanism::StatsSnapshot>) -> Json {
             .field("bypass_blocked", Json::Int(s.bypass_blocked))
             .field("pkru_switches", Json::Int(s.pkru_switches))
             .field("hooks_loaded", Json::Int(s.hooks_loaded))
-            .field("hook_dispatches", Json::Int(s.hook_dispatches)),
+            .field("hook_dispatches", Json::Int(s.hook_dispatches))
+            .field("hook_reloads", Json::Int(s.hook_reloads))
+            .field("sfip_checks", Json::Int(s.sfip_checks))
+            .field("sfip_violations", Json::Int(s.sfip_violations))
+            .field("sfip_mode", Json::Str(s.sfip_mode.into())),
     )
 }
 
@@ -146,6 +150,23 @@ fn main() {
                 "loaded-hook overhead: {loaded:.0} vs {chain:.0} cycles/call \
                  compiled-in chain ({:+.1}% — target within 15%)",
                 (loaded / chain - 1.0) * 100.0
+            );
+        }
+        if let Some(sfip_row) = &results.lazypoline_sfip {
+            // Acceptance gate: the flow-integrity check is one
+            // thread-local swap plus one bitmatrix test per syscall
+            // (target: within 10% of plain lazypoline), and a policy
+            // learned from the workload's own trace must be clean.
+            let plain = results.lazypoline.cycles();
+            let checked = sfip_row.cycles();
+            let s = results.snapshot_for(sfip_row.name);
+            println!(
+                "sfip overhead: {checked:.0} vs {plain:.0} cycles/call plain lazypoline \
+                 ({:+.1}% — target within 10%); {} checks, {} violation(s), mode {}",
+                (checked / plain - 1.0) * 100.0,
+                s.map_or(0, |s| s.sfip_checks),
+                s.map_or(0, |s| s.sfip_violations),
+                s.map_or("", |s| s.sfip_mode),
             );
         }
         println!("(paper: Xeon Gold 5318S @2.1GHz, Linux 5.15; this host differs — compare shapes, not absolutes)");

@@ -84,6 +84,11 @@ pub struct MicroResults {
     /// shape as the chain row, but one handler crossed the `dlopen`
     /// ABI. `None` when the example hook library is not built.
     pub lazypoline_hooks: Option<Measurement>,
+    /// Full lazypoline with a [`sfip::SfipHandler`] enforcing (count
+    /// mode) the transition automaton learned from the `+record` row's
+    /// own trace — the flow-integrity check's fast-path cost. `None`
+    /// when the record row's trace could not be learned from.
+    pub lazypoline_sfip: Option<Measurement>,
     /// Pure SUD interposition (SIGSYS per syscall).
     pub sud: Measurement,
     /// Per-row mechanism counters (row label → delta snapshot covering
@@ -113,6 +118,7 @@ impl MicroResults {
         ]
         .into_iter()
         .chain(self.lazypoline_hooks.as_ref())
+        .chain(self.lazypoline_sfip.as_ref())
         .chain([&self.sud, &self.sud_enabled_allow])
         .map(|m| (m.name, m.cycles() / base, m.stddev_pct()))
         .collect()
@@ -435,8 +441,22 @@ pub fn run_table2() -> MicroResults {
     let runs = env_u64("LP_BENCH_RUNS", 10).max(1);
     let sud_iters = iters.min(env_u64("LP_BENCH_SUD_ITERS", 50_000)).max(1);
 
+    // The sfip row enforces an automaton learned from the `+record`
+    // row's own trace, so that trace must outlive its row: pin
+    // `LP_TRACE_OUT` to a scratch path when the harness left it unset
+    // (measure_row keeps — and never deletes — a caller-provided path).
+    let ambient_trace = std::env::var_os("LP_TRACE_OUT");
+    let learn_trace = match &ambient_trace {
+        Some(v) => std::path::PathBuf::from(v),
+        None => {
+            let p = std::env::temp_dir().join(format!("lp_table2_learn_{}.lpt", std::process::id()));
+            std::env::set_var("LP_TRACE_OUT", &p);
+            p
+        }
+    };
+
     let mut measurements = Vec::with_capacity(TABLE2_PLAN.len());
-    let mut stats = Vec::with_capacity(TABLE2_PLAN.len() + 2);
+    let mut stats = Vec::with_capacity(TABLE2_PLAN.len() + 3);
     let mut recording = None;
     for row in &TABLE2_PLAN {
         let row_iters = if row.capped { sud_iters } else { iters };
@@ -444,6 +464,15 @@ pub fn run_table2() -> MicroResults {
         stats.push((row.label, s));
         measurements.push(m);
         recording = recording.or(summary);
+    }
+
+    // Syscall-flow-integrity row: learn the transition automaton from
+    // the record row's trace, then measure the identical loop under
+    // `lazypoline+sfip` (count mode — the check runs, nothing dies).
+    let lazypoline_sfip = run_sfip_row(&learn_trace, iters, runs, &mut stats);
+    if ambient_trace.is_none() {
+        std::env::remove_var("LP_TRACE_OUT");
+        let _ = std::fs::remove_file(&learn_trace);
     }
 
     // Hook-stack rows: the compiled-in chain comparator, then the same
@@ -507,12 +536,63 @@ pub fn run_table2() -> MicroResults {
         lazypoline_record,
         lazypoline_chain,
         lazypoline_hooks,
+        lazypoline_sfip,
         sud: sud_m,
         stats,
         iters,
         runs,
         recording,
     }
+}
+
+/// Learns an LPSFIP1 policy from the record row's trace and measures
+/// the `lazypoline+sfip` row against it. Skips (returning `None`, like
+/// the hooks row) when the trace is unreadable or empty — the table
+/// then simply lacks the row.
+fn run_sfip_row(
+    trace: &std::path::Path,
+    iters: u64,
+    runs: u64,
+    stats: &mut Vec<(&'static str, mechanism::StatsSnapshot)>,
+) -> Option<Measurement> {
+    let (_, records) = match mechanism::replay::read_trace_path(trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("skip: lazypoline+sfip row (reading {}: {e})", trace.display());
+            return None;
+        }
+    };
+    let policy = match sfip::Policy::learn(&records, "lazypoline+record") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("skip: lazypoline+sfip row (learning: {e})");
+            return None;
+        }
+    };
+    let policy_path = std::env::temp_dir().join(format!("lp_table2_{}.sfip", std::process::id()));
+    if let Err(e) = policy.save(&policy_path) {
+        eprintln!("skip: lazypoline+sfip row (saving policy: {e})");
+        return None;
+    }
+    std::env::set_var(sfip::POLICY_ENV, &policy_path);
+    std::env::set_var(sfip::ACTION_ENV, "count");
+    let row = RowSpec {
+        backend: "lazypoline+sfip",
+        label: "lazypoline+sfip (flow-integrity check)",
+        body: loop_fast,
+        prime: true,
+        detach: false,
+        capped: false,
+        record: false,
+        handler: passthrough_handler,
+        hooks: "",
+    };
+    let (m, s, _) = measure_row(&row, iters, runs);
+    std::env::remove_var(sfip::POLICY_ENV);
+    std::env::remove_var(sfip::ACTION_ENV);
+    let _ = std::fs::remove_file(&policy_path);
+    stats.push((row.label, s));
+    Some(m)
 }
 
 /// The interest-filtering win for *loaded* hooks: a [`interpose::HookStack`]

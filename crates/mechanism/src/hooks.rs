@@ -18,7 +18,10 @@
 //! reloads the same hook set at its constructor (the preload crate
 //! reads the same variable).
 
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
 
 use hookabi::LoadedHook;
 use interpose::{Action, HookId, HookStack, InterestSet, SyscallEvent, SyscallHandler};
@@ -34,6 +37,28 @@ use crate::{
 /// (see `hookabi::parse_specs`). Unset or empty: the stack holds only
 /// the compiled-in handler.
 pub const HOOKS_ENV: &str = "LP_HOOKS";
+
+/// `LP_HOOKS_WATCH=1` at install starts a housekeeping thread that
+/// polls each loaded library's mtime and, on change, hot-reloads it:
+/// `detach` (narrowing interest after the swap) → `fini` → re-`dlopen`
+/// → `attach` at the same priority, racing live dispatch safely via
+/// the stack's RCU snapshot swaps. Note `dlopen` of an in-place
+/// rewrite (same inode) returns the already-mapped module — the
+/// reload still re-runs `fini`/`init` and bumps [`hook_reloads`]; a
+/// *new* inode at the same path (rename-over) maps fresh code.
+pub const HOOKS_WATCH_ENV: &str = "LP_HOOKS_WATCH";
+
+/// Poll interval of the mtime watcher.
+const WATCH_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Hook libraries hot-reloaded by the watcher, process-wide.
+static HOOK_RELOADS: AtomicU64 = AtomicU64::new(0);
+
+/// Hook libraries hot-reloaded by the `LP_HOOKS_WATCH` watcher since
+/// process start.
+pub fn hook_reloads() -> u64 {
+    HOOK_RELOADS.load(Ordering::Relaxed)
+}
 
 /// Process-lifetime cache of constructed `+hooks` backends, keyed by
 /// the full name (same pattern as the record/replay cache).
@@ -114,16 +139,26 @@ impl Mechanism for HooksBackend {
             let h = Arc::new(h);
             let prio = h.priority();
             let id = stack.attach_dynamic(Box::new(SharedHook(Arc::clone(&h))), prio);
-            hooks.push((id, h));
+            let mtime = mtime_of(h.origin());
+            hooks.push(WatchedHook { id, hook: h, mtime });
         }
+        let hooks = Arc::new(Mutex::new(hooks));
 
         let dispatch_base = interpose::hook_dispatches();
+        let reload_base = hook_reloads();
         // The base installs a clone of the stack as the process-global
         // handler — clones share state, so runtime attach/detach
         // through the guard's `stack()` mutates the live handler (and
         // the stack recognises itself as installed, keeping the
         // interest cache in sync).
         let base = self.base.install(Box::new(stack.clone()))?;
+        let watcher = if std::env::var(HOOKS_WATCH_ENV).is_ok_and(|v| v == "1")
+            && !hooks.lock().unwrap().is_empty()
+        {
+            Some(Watcher::spawn(stack.clone(), Arc::clone(&hooks)))
+        } else {
+            None
+        };
         Ok(ActiveMechanism::new(
             self.key,
             Inner::Hooks(Box::new(HooksActive {
@@ -131,19 +166,118 @@ impl Mechanism for HooksBackend {
                 stack,
                 hooks,
                 dispatch_base,
+                reload_base,
+                watcher,
             })),
         ))
     }
 }
 
+/// One attached dynamic hook plus the mtime the watcher compares
+/// against.
+struct WatchedHook {
+    id: HookId,
+    hook: Arc<LoadedHook>,
+    mtime: Option<SystemTime>,
+}
+
+fn mtime_of(path: &str) -> Option<SystemTime> {
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+/// The `LP_HOOKS_WATCH` housekeeping thread: stopped and joined when
+/// the owning [`HooksActive`] drops, *before* the hooks detach.
+struct Watcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watcher {
+    fn spawn(stack: HookStack, hooks: Arc<Mutex<Vec<WatchedHook>>>) -> Watcher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("lp-hooks-watch".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(WATCH_INTERVAL);
+                    sweep(&stack, &hooks);
+                }
+            })
+            .expect("spawn hook watcher thread");
+        Watcher {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Watcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One watcher pass: reload every hook whose library mtime moved.
+/// The swap is `detach` → `fini` → reload → `attach` (the order the
+/// manual [`HooksActive::detach_hook`] path uses); dispatch racing the
+/// window simply misses the hook for a few events — the stack's RCU
+/// snapshots make both edges safe against in-flight syscalls.
+fn sweep(stack: &HookStack, hooks: &Mutex<Vec<WatchedHook>>) {
+    let mut hooks = hooks.lock().unwrap();
+    for entry in hooks.iter_mut() {
+        let now = mtime_of(entry.hook.origin());
+        let (Some(seen), Some(changed)) = (entry.mtime, now) else {
+            // Library currently unreadable (mid-rewrite) or mtime was
+            // never known: (re)arm the comparison and try next pass.
+            entry.mtime = now.or(entry.mtime);
+            continue;
+        };
+        if changed == seen {
+            continue;
+        }
+        // Always advance the watermark — a library that fails to
+        // reload is retried only on a *further* change, not every
+        // pass.
+        entry.mtime = Some(changed);
+        let origin = entry.hook.origin().to_string();
+        let prio = entry.hook.priority();
+        match LoadedHook::load(Path::new(&origin), Some(prio)) {
+            Ok(fresh) => {
+                if !stack.detach(entry.id) {
+                    continue; // manually detached since the lock check
+                }
+                entry.hook.run_fini();
+                let fresh = Arc::new(fresh);
+                entry.id = stack.attach_dynamic(Box::new(SharedHook(Arc::clone(&fresh))), prio);
+                entry.hook = fresh;
+                HOOK_RELOADS.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Keep dispatching into the old module; the next mtime
+                // bump retries.
+            }
+        }
+    }
+}
+
 /// Live `<base>+hooks` installation: the base guard, the shared stack,
-/// and the loaded hooks (kept for `fini` + reporting).
+/// and the loaded hooks (kept for `fini` + reporting; shared with the
+/// optional mtime watcher).
 pub(crate) struct HooksActive {
     base: ActiveMechanism,
     stack: HookStack,
-    hooks: Vec<(HookId, Arc<LoadedHook>)>,
+    hooks: Arc<Mutex<Vec<WatchedHook>>>,
     /// `interpose::hook_dispatches()` at install, for delta reporting.
     dispatch_base: u64,
+    /// [`hook_reloads`] at install, for delta reporting.
+    reload_base: u64,
+    /// The `LP_HOOKS_WATCH` thread; drop order stops it before the
+    /// hooks detach.
+    watcher: Option<Watcher>,
 }
 
 impl HooksActive {
@@ -152,6 +286,7 @@ impl HooksActive {
         s.mechanism = mechanism;
         s.hooks_loaded = self.stack.dynamic_len() as u64;
         s.hook_dispatches = interpose::hook_dispatches().saturating_sub(self.dispatch_base);
+        s.hook_reloads = hook_reloads().saturating_sub(self.reload_base);
         s
     }
 
@@ -173,32 +308,37 @@ impl HooksActive {
 
     pub(crate) fn loaded(&self) -> Vec<(HookId, String, i32)> {
         self.hooks
+            .lock()
+            .unwrap()
             .iter()
-            .map(|(id, h)| (*id, h.name().to_string(), h.priority()))
+            .map(|w| (w.id, w.hook.name().to_string(), w.hook.priority()))
             .collect()
     }
 
     pub(crate) fn detach_hook(&mut self, id: HookId) -> bool {
-        let Some(pos) = self.hooks.iter().position(|(hid, _)| *hid == id) else {
+        let mut hooks = self.hooks.lock().unwrap();
+        let Some(pos) = hooks.iter().position(|w| w.id == id) else {
             return false;
         };
         if !self.stack.detach(id) {
             return false;
         }
-        let (_, hook) = self.hooks.remove(pos);
-        hook.run_fini();
+        let w = hooks.remove(pos);
+        w.hook.run_fini();
         true
     }
 }
 
 impl Drop for HooksActive {
     fn drop(&mut self) {
-        // Teardown order: the base guard (still held) keeps the stack
+        // Teardown order: the watcher thread stops first (it mutates
+        // the stack), then the base guard (still held) keeps the stack
         // valid while we detach; fini runs per surviving hook. The
         // libraries themselves stay mapped forever (hookabi docs).
-        for (id, hook) in self.hooks.drain(..) {
-            if self.stack.detach(id) {
-                hook.run_fini();
+        self.watcher = None;
+        for w in self.hooks.lock().unwrap().drain(..) {
+            if self.stack.detach(w.id) {
+                w.hook.run_fini();
             }
         }
     }

@@ -37,8 +37,10 @@
 //! Dynamic (parsed by [`by_name`], composed over the rows above):
 //! `<base>+record` (flight recorder around any backend),
 //! `replay:<trace-path>` (deterministic replay of a recorded trace),
-//! and `<base>+hooks` (a runtime [`interpose::HookStack`] as the
-//! handler, loading every `lp_hook_v1` library named by `LP_HOOKS`).
+//! `<base>+hooks` (a runtime [`interpose::HookStack`] as the
+//! handler, loading every `lp_hook_v1` library named by `LP_HOOKS`),
+//! and `<base>+sfip` (syscall-flow-integrity enforcement of a learned
+//! `LPSFIP1` policy named by `LP_SFIP_POLICY`).
 //!
 //! # One-way caveats
 //!
@@ -56,10 +58,11 @@
 mod hooks;
 mod native;
 mod record_replay;
+mod sfip;
 mod sim;
 
 use interpose::SyscallHandler;
-pub use hooks::HOOKS_ENV;
+pub use hooks::{HOOKS_ENV, HOOKS_WATCH_ENV};
 pub use record_replay::TRACE_OUT_ENV;
 pub use replay;
 pub use sim_interpose::{Efficiency, Expressiveness, Traits};
@@ -106,6 +109,10 @@ pub enum InstallError {
     /// A `<base>+hooks` backend could not load a hook library named by
     /// `LP_HOOKS` (bad spec, dlopen failure, ABI mismatch, …).
     Hook(hookabi::HookLoadError),
+    /// A `<base>+sfip` backend could not load the policy named by
+    /// `LP_SFIP_POLICY` (missing path, bad magic/version/geometry,
+    /// unknown `LP_SFIP_POLICY_ACTION`, …).
+    Policy(::sfip::PolicyError),
 }
 
 impl std::fmt::Display for InstallError {
@@ -116,6 +123,7 @@ impl std::fmt::Display for InstallError {
             InstallError::Init(e) => write!(f, "engine init failed: {e}"),
             InstallError::Io(e) => write!(f, "kernel interface failed: {e}"),
             InstallError::Hook(e) => write!(f, "hook loading failed: {e}"),
+            InstallError::Policy(e) => write!(f, "sfip policy failed: {e}"),
         }
     }
 }
@@ -211,6 +219,19 @@ pub struct StatsSnapshot {
     /// Syscall events dispatched into dynamically loaded hooks since
     /// install (one count per hook per event that reaches it).
     pub hook_dispatches: u64,
+    /// Hook libraries reloaded by the `LP_HOOKS_WATCH` mtime watcher
+    /// since install (nonzero only under `<base>+hooks` with the
+    /// watcher enabled).
+    pub hook_reloads: u64,
+    /// Syscall-flow transition checks performed since install (nonzero
+    /// only under `<base>+sfip`).
+    pub sfip_checks: u64,
+    /// Syscall-flow violations observed since install (nonzero only
+    /// under `<base>+sfip`).
+    pub sfip_violations: u64,
+    /// The `<base>+sfip` violation action (`kill`|`quarantine`|`count`;
+    /// empty for other backends).
+    pub sfip_mode: &'static str,
 }
 
 impl StatsSnapshot {
@@ -248,6 +269,7 @@ pub(crate) enum Inner {
     Record(Box<record_replay::RecordActive>),
     Replay(Box<record_replay::ReplayActive>),
     Hooks(Box<hooks::HooksActive>),
+    Sfip(Box<sfip::SfipActive>),
 }
 
 impl ActiveMechanism {
@@ -268,6 +290,7 @@ impl ActiveMechanism {
             Inner::Record(r) => r.snapshot(self.name),
             Inner::Replay(r) => r.snapshot(self.name),
             Inner::Hooks(h) => h.snapshot(self.name),
+            Inner::Sfip(s) => s.snapshot(self.name),
         }
     }
 
@@ -343,6 +366,7 @@ impl ActiveMechanism {
             Inner::Record(r) => r.detach(),
             Inner::Replay(r) => r.detach(),
             Inner::Hooks(h) => h.detach(),
+            Inner::Sfip(s) => s.detach(),
             Inner::Sim(_) => {}
         }
     }
@@ -357,6 +381,7 @@ impl ActiveMechanism {
             Inner::Record(r) => r.set_xstate(mask),
             Inner::Replay(r) => r.set_xstate(mask),
             Inner::Hooks(h) => h.set_xstate(mask),
+            Inner::Sfip(s) => s.set_xstate(mask),
             Inner::Sim(_) => false,
         }
     }
@@ -372,6 +397,7 @@ impl ActiveMechanism {
             Inner::Record(r) => r.run_program(program),
             Inner::Replay(r) => r.run_program(program),
             Inner::Hooks(h) => h.run_program(program),
+            Inner::Sfip(s) => s.run_program(program),
             Inner::Native(_) => Err(RunError::NotSimulated),
         }
     }
@@ -406,10 +432,15 @@ pub fn names() -> Vec<&'static str> {
 ///   [`interpose::HookStack`] as its handler (e.g. `lazypoline+hooks`,
 ///   `sim:lazypoline+hooks`): the compiled-in handler at priority 0
 ///   plus every `lp_hook_v1` library named by `LP_HOOKS`.
+/// * `<base>+sfip` — any static backend with syscall-flow-integrity
+///   enforcement around the handler: the `LPSFIP1` policy named by
+///   `LP_SFIP_POLICY` is checked per transition, with
+///   `LP_SFIP_POLICY_ACTION=kill|quarantine|count` on violation.
 pub fn by_name(name: &str) -> Option<&'static dyn Mechanism> {
     static_by_name(name)
         .or_else(|| record_replay::dynamic_by_name(name))
         .or_else(|| hooks::dynamic_by_name(name))
+        .or_else(|| sfip::dynamic_by_name(name))
 }
 
 /// Static-registry lookup only — used internally so dynamic backends
@@ -443,7 +474,7 @@ impl std::fmt::Display for UnknownMechanism {
         write!(
             f,
             "unknown mechanism {:?} (valid: {}; dynamic forms: \
-             <base>+record, replay:<trace-path>, <base>+hooks)",
+             <base>+record, replay:<trace-path>, <base>+hooks, <base>+sfip)",
             self.0,
             names().join(", ")
         )
@@ -537,7 +568,12 @@ mod tests {
         assert!(err.contains("lazypoline"), "error lists valid names: {err}");
         // The dynamic name forms are part of the valid vocabulary and
         // must appear in the error too.
-        for form in ["<base>+record", "replay:<trace-path>", "<base>+hooks"] {
+        for form in [
+            "<base>+record",
+            "replay:<trace-path>",
+            "<base>+hooks",
+            "<base>+sfip",
+        ] {
             assert!(err.contains(form), "error lists dynamic form {form}: {err}");
         }
     }
@@ -579,6 +615,27 @@ mod tests {
             .unwrap();
         assert!(plain.hook_stack().is_none());
         assert!(plain.loaded_hooks().is_empty());
+    }
+
+    #[test]
+    fn sfip_backend_composes_and_requires_policy() {
+        let m = by_name("sim:lazypoline+sfip").expect("+sfip parses over sim bases");
+        assert_eq!(m.name(), "sim:lazypoline+sfip");
+        assert!(m.is_available());
+        assert_eq!(m.traits(), by_name("sim:lazypoline").unwrap().traits());
+        // Unknown bases don't parse; repeat lookups hit the cache.
+        assert!(by_name("no-such-base+sfip").is_none());
+        assert!(std::ptr::eq(m, by_name("sim:lazypoline+sfip").unwrap()));
+        // An +sfip install without LP_SFIP_POLICY is a typed error,
+        // never a silently unenforced mechanism. (Skip when the
+        // harness exported a policy for the whole run.)
+        if std::env::var(::sfip::POLICY_ENV).is_err() {
+            match m.install(Box::new(interpose::PassthroughHandler)) {
+                Err(InstallError::Policy(::sfip::PolicyError::NoPolicyPath)) => {}
+                Err(other) => panic!("expected NoPolicyPath, got {other}"),
+                Ok(_) => panic!("install must fail without a policy"),
+            }
+        }
     }
 
     #[test]

@@ -21,9 +21,26 @@ pub const JIT_PAGE: u64 = 0x20000;
 /// * `r12` holds the JIT'd `getpid()` result (1000),
 /// * `r13` holds a statically-present `getpid()` result (1000).
 pub fn build() -> Vec<u8> {
+    build_with(sysno::GETPID)
+}
+
+/// Builds the *exploited* variant: the attacker has corrupted the JIT
+/// compiler's output, so the runtime-emitted code issues `getuid()`
+/// where the original program only ever calls `getpid()`. The static
+/// image is byte-for-byte identical in structure — only the emitted
+/// immediates (data, to any static scan) change — so nothing a
+/// rewriter sees differs; only the *syscall flow* does. This is the
+/// escape a transition policy learned from [`build`] catches
+/// (`mmap → getuid` and `getuid → getpid` are not in the automaton)
+/// and plain interposition silently passes through.
+pub fn build_escape() -> Vec<u8> {
+    build_with(sysno::GETUID)
+}
+
+fn build_with(jitted_sysno: u64) -> Vec<u8> {
     // The code the "compiler" emits at runtime.
     let jitted = Asm::new()
-        .mov_ri(Gpr::R0, sysno::GETPID)
+        .mov_ri(Gpr::R0, jitted_sysno)
         .syscall()
         .ret()
         .assemble()
@@ -74,6 +91,21 @@ mod tests {
         assert_eq!(sys.run().unwrap(), 0);
         assert_eq!(sys.machine.gpr(Gpr::R12), 1000, "jitted getpid");
         assert_eq!(sys.machine.gpr(Gpr::R13), 1000, "static getpid");
+    }
+
+    #[test]
+    fn escape_variant_runs_but_flows_differently() {
+        let mut sys = System::new();
+        sys.load_program(&build_escape()).unwrap();
+        assert_eq!(sys.run().unwrap(), 0);
+        // Same syscall count, same static shape — only the flow (which
+        // syscall the JIT page issues) differs from `build()`.
+        assert_eq!(sys.kernel.stats().syscalls, 4);
+        assert_ne!(sys.machine.gpr(Gpr::R12), 1000, "jitted call is getuid now");
+        assert_eq!(
+            sim_cpu::insn::find_syscall_offsets(&build()).len(),
+            sim_cpu::insn::find_syscall_offsets(&build_escape()).len(),
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub use interpose;
 pub use lazypoline;
 pub use mechanism;
 pub use replay;
+pub use sfip;
 pub use sud;
 pub use syscalls;
 pub use zpoline;

@@ -1035,6 +1035,28 @@ fn scenario_mechanism_smoke() {
     // a small workload, and tear down cleanly.
     let backend = mechanism::from_env()
         .unwrap_or_else(|e| panic!("LP_MECHANISM must name a registered mechanism: {e}"));
+    // `<base>+sfip` rows need a policy at install. CI's enforce rows
+    // export a learned LP_SFIP_POLICY; when the harness didn't, an
+    // allow-everything policy keeps the row exercising the check path
+    // (counted per syscall) without constraining the workload.
+    struct Scratch(Option<std::path::PathBuf>);
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            if let Some(p) = self.0.take() {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+    let mut scratch = Scratch(None);
+    if backend.name().ends_with("+sfip") && std::env::var_os(sfip::POLICY_ENV).is_none() {
+        let path = std::env::temp_dir().join(format!("lp-smoke-{}.sfip", std::process::id()));
+        sfip::Policy::allow_all("smoke").save(&path).expect("policy saves");
+        std::env::set_var(sfip::POLICY_ENV, &path);
+        if std::env::var_os(sfip::ACTION_ENV).is_none() {
+            std::env::set_var(sfip::ACTION_ENV, "count");
+        }
+        scratch.0 = Some(path);
+    }
     if backend.name().starts_with("sim:") {
         // Simulated backend: drive a canned program through the same
         // trait instead of this process's syscalls.
@@ -1050,6 +1072,14 @@ fn scenario_mechanism_smoke() {
             assert!(
                 s.hooks_loaded > 0,
                 "{}: LP_HOOKS loaded no hooks — the matrix row is vacuous",
+                active.mechanism_name()
+            );
+        }
+        if active.mechanism_name().ends_with("+sfip") {
+            let s = active.stats();
+            assert!(
+                s.sfip_checks > 0,
+                "{}: no syscalls were flow-checked — the matrix row is vacuous",
                 active.mechanism_name()
             );
         }
@@ -1088,6 +1118,13 @@ fn scenario_mechanism_smoke() {
             active.mechanism_name()
         );
         assert!(stats.hook_dispatches > 0, "loaded hooks saw no syscalls");
+    }
+    if active.mechanism_name().ends_with("+sfip") {
+        assert!(
+            stats.sfip_checks > 0,
+            "{}: no syscalls were flow-checked — the matrix row is vacuous",
+            active.mechanism_name()
+        );
     }
     println!(
         "mechanism {}: {} dispatches, {} slow-path, {} patched",
@@ -1428,6 +1465,182 @@ fn scenario_escape_fork_rearm() {
     );
 }
 
+// ——— syscall-flow-integrity (sfip) scenarios ————————————————————————
+
+/// The nr asm_nosys() issues — never used by this process otherwise,
+/// so `forbid_into(NOSYS_NR)` makes a crafted policy with exactly one
+/// reachable violation.
+const NOSYS_NR: u64 = 500;
+
+fn enosys() -> u64 {
+    -(libc::ENOSYS as i64) as u64
+}
+
+/// Saves `policy` to a temp file and exports the sfip install env.
+fn sfip_arm(policy: &sfip::Policy, action: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "lp-sfip-{action}-{}.sfip",
+        std::process::id()
+    ));
+    policy.save(&path).expect("policy saves");
+    std::env::set_var(sfip::POLICY_ENV, &path);
+    std::env::set_var(sfip::ACTION_ENV, action);
+    path
+}
+
+/// An allow-everything automaton with the one transition target the
+/// attack uses carved out.
+fn sfip_deny_nosys_policy() -> sfip::Policy {
+    let mut policy = sfip::Policy::allow_all("native-escape");
+    policy.forbid_into(NOSYS_NR);
+    policy
+}
+
+/// The fixed workload both sfip phases run: raw getpid loop plus one
+/// libc file round-trip.
+fn sfip_workload() {
+    let pid = std::process::id() as u64;
+    for _ in 0..20 {
+        assert_eq!(asm_getpid(), pid);
+    }
+    let probe = std::env::temp_dir().join(format!("lp-sfip-probe-{}", std::process::id()));
+    std::fs::write(&probe, b"flow").unwrap();
+    assert_eq!(std::fs::read(&probe).unwrap(), b"flow");
+    std::fs::remove_file(&probe).unwrap();
+}
+
+fn scenario_sfip_native() {
+    // Learn from this process's own recorded trace, then enforce over
+    // the identical workload. The workload is recorded twice so the
+    // steady-state flow (all sites already patched, allocator warm) is
+    // fully in the automaton — the enforcement run is that steady
+    // state's third iteration.
+    let trace = std::env::temp_dir().join(format!("lp-sfip-learn-{}.lpt", std::process::id()));
+    std::env::set_var("LP_TRACE_OUT", &trace);
+    let mut rec = install("lazypoline+record", Box::new(interpose::PassthroughHandler));
+    std::env::remove_var("LP_TRACE_OUT");
+    sfip_workload();
+    sfip_workload();
+    rec.detach();
+    rec.finish_recording()
+        .expect("a trace session is active")
+        .expect("trace finishes");
+    drop(rec);
+    let (header, records) = mechanism::replay::read_trace_path(&trace).expect("trace decodes");
+    std::fs::remove_file(&trace).unwrap();
+    let policy =
+        sfip::Policy::learn(&records, &header.source_mechanism).expect("native trace learns");
+
+    let path = sfip_arm(&policy, "count");
+    let mut active = install("lazypoline+sfip", Box::new(interpose::PassthroughHandler));
+    sfip_workload();
+    active.detach();
+    let stats = active.stats();
+    std::fs::remove_file(&path).unwrap();
+    assert!(stats.sfip_checks > 0, "no syscalls were flow-checked: {stats:?}");
+    assert_eq!(
+        stats.sfip_violations, 0,
+        "the learned workload must replay inside its own automaton: {stats:?}"
+    );
+    println!(
+        "sfip native: learned {} transitions, {} checks, 0 violations",
+        policy.transitions(),
+        stats.sfip_checks
+    );
+}
+
+fn scenario_sfip_escape_plain() {
+    // Plain lazypoline fails open on a *flow* violation: nr 500 right
+    // after a getpid burst is interposed like any other syscall,
+    // reaches the kernel, and nothing flags it.
+    let mut active = install("lazypoline", Box::new(interpose::PassthroughHandler));
+    let pid = std::process::id() as u64;
+    assert_eq!(asm_getpid(), pid);
+    assert_eq!(asm_nosys(), enosys(), "nr 500 executed unflagged");
+    active.detach();
+    let stats = active.stats();
+    assert!(stats.dispatches >= 2, "both syscalls interposed: {stats:?}");
+    assert_eq!(stats.sfip_checks, 0, "no flow checking without +sfip");
+    assert_eq!(stats.sfip_violations, 0, "{stats:?}");
+}
+
+fn scenario_sfip_escape_count() {
+    // count: the off-policy syscall still executes, but is audited.
+    let path = sfip_arm(&sfip_deny_nosys_policy(), "count");
+    let mut active = install("lazypoline+sfip", Box::new(interpose::PassthroughHandler));
+    let pid = std::process::id() as u64;
+    for _ in 0..5 {
+        assert_eq!(asm_getpid(), pid);
+    }
+    assert_eq!(asm_nosys(), enosys(), "count mode does not block");
+    active.detach();
+    let stats = active.stats();
+    std::fs::remove_file(&path).unwrap();
+    assert!(stats.sfip_checks >= 6, "{stats:?}");
+    assert_eq!(
+        stats.sfip_violations, 1,
+        "exactly the forbidden →500 transition: {stats:?}"
+    );
+}
+
+fn scenario_sfip_escape_quarantine() {
+    // quarantine: first violation disables checking; execution
+    // continues uninterposed by the policy (but still dispatched).
+    let path = sfip_arm(&sfip_deny_nosys_policy(), "quarantine");
+    let mut active = install("lazypoline+sfip", Box::new(interpose::PassthroughHandler));
+    let pid = std::process::id() as u64;
+    assert_eq!(asm_getpid(), pid);
+    assert_eq!(asm_nosys(), enosys(), "first violation passes through");
+    // After quarantine the checker is frozen: further off-policy
+    // syscalls run but are no longer counted.
+    assert_eq!(asm_nosys(), enosys());
+    assert_eq!(asm_getpid(), pid, "process still fully functional");
+    active.detach();
+    let stats = active.stats();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(stats.sfip_mode, "quarantine");
+    assert_eq!(
+        stats.sfip_violations, 1,
+        "checking froze after the first violation: {stats:?}"
+    );
+}
+
+/// Hidden victim for `scenario_sfip_escape_kill`: the parent exports a
+/// deny-500 policy with action=kill; the off-policy syscall must kill
+/// the process mid-attack.
+fn scenario_sfip_escape_kill_victim() {
+    let _active = install("lazypoline+sfip", Box::new(interpose::PassthroughHandler));
+    println!("ATTACK_IMMINENT");
+    asm_nosys();
+    // Unreachable under the kill action.
+    println!("SURVIVED");
+    std::process::exit(3);
+}
+
+fn scenario_sfip_escape_kill() {
+    let path = std::env::temp_dir().join(format!("lp-sfip-kill-{}.sfip", std::process::id()));
+    sfip_deny_nosys_policy().save(&path).expect("policy saves");
+    let exe = std::env::current_exe().expect("self path");
+    let out = Command::new(&exe)
+        .env("LP_SCENARIO", "sfip_escape_kill_victim")
+        .env(sfip::POLICY_ENV, &path)
+        .env(sfip::ACTION_ENV, "kill")
+        .env_remove("LAZYPOLINE_FAULTS")
+        .output()
+        .expect("spawn victim");
+    std::fs::remove_file(&path).unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Killed by SIGKILL (no exit code) or the exit_group(137) fallback.
+    let code = out.status.code();
+    assert!(
+        (code.is_none() || code == Some(137))
+            && stdout.contains("ATTACK_IMMINENT")
+            && !stdout.contains("SURVIVED"),
+        "victim must die on the off-policy syscall: status {:?}, stdout:\n{stdout}",
+        out.status,
+    );
+}
+
 // ——— harness ————————————————————————————————————————————————————————
 
 const SCENARIOS: &[(&str, fn())] = &[
@@ -1461,12 +1674,19 @@ const SCENARIOS: &[(&str, fn())] = &[
     ("escape_quarantine", scenario_escape_quarantine),
     ("escape_kill", scenario_escape_kill),
     ("escape_fork_rearm", scenario_escape_fork_rearm),
+    ("sfip_native", scenario_sfip_native),
+    ("sfip_escape_plain", scenario_sfip_escape_plain),
+    ("sfip_escape_count", scenario_sfip_escape_count),
+    ("sfip_escape_quarantine", scenario_sfip_escape_quarantine),
+    ("sfip_escape_kill", scenario_sfip_escape_kill),
 ];
 
 /// Scenarios reachable via `LP_SCENARIO` but never driven directly —
 /// they end abnormally by design (e.g. killed mid-attack).
-const HIDDEN_SCENARIOS: &[(&str, fn())] =
-    &[("escape_kill_victim", scenario_escape_kill_victim)];
+const HIDDEN_SCENARIOS: &[(&str, fn())] = &[
+    ("escape_kill_victim", scenario_escape_kill_victim),
+    ("sfip_escape_kill_victim", scenario_sfip_escape_kill_victim),
+];
 
 fn main() {
     if let Ok(name) = std::env::var("LP_SCENARIO") {

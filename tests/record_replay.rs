@@ -454,6 +454,32 @@ fn committed_lptrace1_fixture_decodes_and_replays() {
     assert_eq!(state.divergences(), 0);
 }
 
+/// The committed LPTRACE2 fixture must keep decoding and replaying
+/// unchanged too — it is also the sfip subsystem's canonical learning
+/// input (see `tests/sfip.rs`), so both consumers pin the same bytes.
+#[test]
+fn committed_lptrace2_fixture_decodes_and_replays() {
+    let fixture =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/jit_v2.lpt2");
+    let (header, records) = replay::read_trace_path(&fixture).expect("fixture decodes");
+    assert_eq!(header.version, replay::VERSION2);
+    assert_eq!(header.source_mechanism, "sim:lazypoline");
+    assert_eq!(records.len(), 4, "mmap + jitted getpid + static getpid + exit_group");
+
+    let name = format!("replay:{}", fixture.display());
+    let mut active = mechanism::by_name(&name)
+        .unwrap()
+        .install(Box::new(interpose::PassthroughHandler))
+        .expect("v2 fixture loads");
+    let out = active
+        .run_program(&sim_workloads::jit::build())
+        .expect("replay base is simulated");
+    assert_eq!(out.exit, 0);
+    let state = active.replay_state().expect("replay backend").clone();
+    assert_eq!(state.position(), state.len(), "whole fixture consumed");
+    assert_eq!(state.divergences(), 0);
+}
+
 #[test]
 fn record_composes_with_any_sim_mechanism_and_counts_in_stats() {
     let _g = record_lock();
